@@ -1,0 +1,94 @@
+// Command characterize regenerates Table III: the design-time hardware-
+// and situation-aware characterization (Sec. III-B). For every situation
+// it sweeps the ISP knob (and optionally the full ROI × speed space)
+// through closed-loop simulation and records the knob tuning with the
+// best QoC, printing the result next to the paper's Table III.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hsas/internal/camera"
+	"hsas/internal/core"
+	"hsas/internal/knobs"
+	"hsas/internal/world"
+)
+
+func main() {
+	width := flag.Int("width", 256, "camera width for the sweep runs")
+	height := flag.Int("height", 128, "camera height for the sweep runs")
+	situations := flag.String("situations", "", "comma-separated 1-based situation indices (default all 21)")
+	isps := flag.String("isps", "", "comma-separated ISP candidates (default S0..S8)")
+	full := flag.Bool("full", false, "sweep all ROIs and speeds too (much slower)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress")
+	sensitivity := flag.Bool("sensitivity", false, "run the Monte-Carlo knob screening of Sec. III-B instead")
+	samples := flag.Int("samples", 24, "Monte-Carlo samples per situation (with -sensitivity)")
+	flag.Parse()
+
+	cfg := core.CharacterizeConfig{
+		Camera:       camera.Scaled(*width, *height),
+		Seed:         *seed,
+		FullROISweep: *full,
+	}
+	if *situations != "" {
+		for _, tok := range strings.Split(*situations, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || i < 1 || i > len(world.PaperSituations) {
+				fmt.Fprintf(os.Stderr, "bad situation index %q\n", tok)
+				os.Exit(2)
+			}
+			cfg.Situations = append(cfg.Situations, world.PaperSituations[i-1])
+		}
+	}
+	if *isps != "" {
+		for _, tok := range strings.Split(*isps, ",") {
+			cfg.ISPCandidates = append(cfg.ISPCandidates, strings.TrimSpace(tok))
+		}
+	}
+	if !*quiet {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if *sensitivity {
+		sits := cfg.Situations
+		if sits == nil {
+			sits = world.PaperSituations
+		}
+		for _, sit := range sits {
+			res, err := core.AnalyzeSensitivity(core.SensitivityConfig{
+				Situation: sit,
+				Samples:   *samples,
+				Camera:    cfg.Camera,
+				Seed:      *seed,
+				Progress:  cfg.Progress,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sensitivity:", err)
+				os.Exit(1)
+			}
+			fmt.Print(res.Format())
+		}
+		return
+	}
+
+	res, err := core.Characterize(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Regenerated Table III (this substrate):")
+	fmt.Print(res.FormatTable())
+
+	fmt.Println("\nPaper's Table III for comparison:")
+	fmt.Printf("%-4s %-38s %-5s %-6s %s\n", "Sit", "Situation Details", "ISP", "PR", "Tc [v, h, tau]")
+	for i, row := range knobs.PaperTable3 {
+		fmt.Printf("%-4d %-38s %-5s ROI %d [%g, %g, %g]\n",
+			i+1, row.Situation.String(), row.ISP, row.ROI, row.SpeedKmph, row.HMs, row.TauMs)
+	}
+}

@@ -1,0 +1,166 @@
+// Command figures regenerates the data series behind the paper's
+// evaluation figures:
+//
+//	-fig 1   accuracy vs FPS trade-off of lane detection methods
+//	-fig 6   static per-situation robustness and QoC (cases 1-4,
+//	         normalized to case 3)
+//	-fig 8   dynamic nine-sector switching (cases 1-4 + variable,
+//	         normalized to case 3) with the headline improvements
+//
+// Output is CSV on stdout with a human-readable summary on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"hsas/internal/baselines"
+	"hsas/internal/camera"
+	"hsas/internal/knobs"
+	"hsas/internal/metrics"
+	"hsas/internal/sim"
+	"hsas/internal/world"
+)
+
+func main() {
+	fig := flag.Int("fig", 8, "figure to regenerate: 1, 6 or 8")
+	width := flag.Int("width", 320, "camera width for closed-loop runs")
+	height := flag.Int("height", 160, "camera height for closed-loop runs")
+	seed := flag.Int64("seed", 1, "noise seed")
+	perSit := flag.Int("frames", 8, "fig 1: frames per situation")
+	flag.Parse()
+
+	cam := camera.Scaled(*width, *height)
+	switch *fig {
+	case 1:
+		fig1(cam, *perSit, *seed)
+	case 6:
+		fig6(cam, *seed)
+	case 8:
+		fig8(cam, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown figure; use -fig 1|6|8")
+		os.Exit(2)
+	}
+}
+
+func fig1(cam camera.Camera, perSit int, seed int64) {
+	evals := baselines.EvaluateFig1(cam, perSit, seed)
+	fmt.Println("method,accuracy,xavier_fps,go_fps,surrogate")
+	for _, e := range evals {
+		fmt.Printf("%q,%.4f,%.2f,%.2f,%v\n", e.Name, e.Accuracy, e.XavierFPS, e.GoFPS, e.Surrogate)
+	}
+	fmt.Fprintln(os.Stderr, "\nFig. 1 — lane detection accuracy vs FPS (NVIDIA AGX Xavier, 30 W)")
+	for _, e := range evals {
+		tag := ""
+		if e.Surrogate {
+			tag = " [quoted]"
+		}
+		fmt.Fprintf(os.Stderr, "  %-45s acc %5.1f%%  %5.1f FPS%s\n", e.Name, 100*e.Accuracy, e.XavierFPS, tag)
+	}
+}
+
+var fig6Cases = []knobs.Case{knobs.Case1, knobs.Case2, knobs.Case3, knobs.Case4}
+
+func fig6(cam camera.Camera, seed int64) {
+	type row struct {
+		mae     [4]float64
+		crashed [4]bool
+	}
+	rows := make([]row, len(world.PaperSituations))
+	for si, sit := range world.PaperSituations {
+		track := world.SituationTrack(sit)
+		sector := world.SituationEvalSector(sit)
+		for ci, c := range fig6Cases {
+			res, err := sim.Run(sim.Config{Track: track, Camera: cam, Case: c, Seed: seed})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sim:", err)
+				os.Exit(1)
+			}
+			rows[si].mae[ci] = res.PerSector.Sector(sector)
+			rows[si].crashed[ci] = res.Crashed
+			fmt.Fprintf(os.Stderr, "situation %2d %-40s %v: MAE %.4f crashed=%v\n",
+				si+1, sit, c, rows[si].mae[ci], res.Crashed)
+		}
+	}
+
+	fmt.Println("situation,details,case1_norm,case2_norm,case3_norm,case4_norm,case1_fail,case2_fail,case3_fail,case4_fail")
+	for si, r := range rows {
+		base := r.mae[2] // normalize to case 3, as in the paper
+		norm := func(v float64, crashed bool) string {
+			if crashed || base == 0 {
+				return "fail"
+			}
+			return fmt.Sprintf("%.3f", v/base)
+		}
+		fmt.Printf("%d,%q,%s,%s,%s,%s,%v,%v,%v,%v\n",
+			si+1, world.PaperSituations[si].String(),
+			norm(r.mae[0], r.crashed[0]), norm(r.mae[1], r.crashed[1]),
+			norm(r.mae[2], r.crashed[2]), norm(r.mae[3], r.crashed[3]),
+			r.crashed[0], r.crashed[1], r.crashed[2], r.crashed[3])
+	}
+}
+
+var fig8Cases = []knobs.Case{knobs.Case1, knobs.Case2, knobs.Case3, knobs.Case4, knobs.CaseVariable}
+
+func fig8(cam camera.Camera, seed int64) {
+	track := world.NineSectorTrack()
+	type outcome struct {
+		perSector []float64
+		crashed   bool
+		crashSec  int
+	}
+	results := map[knobs.Case]outcome{}
+	for _, c := range fig8Cases {
+		res, err := sim.Run(sim.Config{Track: track, Camera: cam, Case: c, Seed: seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sim:", err)
+			os.Exit(1)
+		}
+		o := outcome{crashed: res.Crashed, crashSec: res.CrashSector}
+		for i := 1; i <= world.NumSectors; i++ {
+			v := math.NaN()
+			// A sector is scored only when fully driven: sparse samples or
+			// the crash sector itself report as failed.
+			if res.PerSector.SectorN(i) > 50 && !(res.Crashed && i >= res.CrashSector) {
+				v = res.PerSector.Sector(i)
+			}
+			o.perSector = append(o.perSector, v)
+		}
+		results[c] = o
+		fmt.Fprintf(os.Stderr, "%v: crashed=%v sector=%d\n", c, res.Crashed, res.CrashSector)
+	}
+
+	fmt.Println("sector,case1,case2,case3,case4,variable")
+	base := results[knobs.Case3].perSector
+	series := map[knobs.Case][]float64{}
+	for _, c := range fig8Cases {
+		series[c] = metrics.NormalizeTo(results[c].perSector, base)
+	}
+	for i := 0; i < world.NumSectors; i++ {
+		fmt.Printf("%d", i+1)
+		for _, c := range fig8Cases {
+			v := series[c][i]
+			if math.IsNaN(v) {
+				fmt.Printf(",fail")
+			} else {
+				fmt.Printf(",%.3f", v)
+			}
+		}
+		fmt.Println()
+	}
+
+	imp43 := metrics.Improvement(results[knobs.Case4].perSector, results[knobs.Case3].perSector)
+	impV3 := metrics.Improvement(results[knobs.CaseVariable].perSector, results[knobs.Case3].perSector)
+	impV4 := metrics.Improvement(results[knobs.CaseVariable].perSector, results[knobs.Case4].perSector)
+	imp31 := metrics.Improvement(results[knobs.Case1].perSector, results[knobs.Case3].perSector)
+	imp32 := metrics.Improvement(results[knobs.Case2].perSector, results[knobs.Case3].perSector)
+	fmt.Fprintf(os.Stderr, "\nFig. 8 aggregates (sectors completed by both sides):\n")
+	fmt.Fprintf(os.Stderr, "  case 3 vs case 1 QoC: case 3 is %.0f%% worse (paper: 55%%)\n", 100*imp31)
+	fmt.Fprintf(os.Stderr, "  case 3 vs case 2 QoC: case 3 is %.0f%% worse (paper: 22%%)\n", 100*imp32)
+	fmt.Fprintf(os.Stderr, "  case 4 improves QoC over case 3 by %.0f%% (paper: 30%%)\n", 100*imp43)
+	fmt.Fprintf(os.Stderr, "  variable improves over case 3 by %.0f%% (paper: 32%%)\n", 100*impV3)
+	fmt.Fprintf(os.Stderr, "  variable improves over case 4 by %.0f%% (paper: 3%%)\n", 100*impV4)
+}

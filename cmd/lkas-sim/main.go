@@ -1,0 +1,87 @@
+// Command lkas-sim runs one closed-loop LKAS evaluation: a Table V case
+// (or the Sec. IV-E variable invocation scheme) on a single-situation
+// track or the nine-sector dynamic case study of Fig. 7, printing
+// per-sector QoC and the crash outcome.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"hsas/internal/camera"
+	"hsas/internal/knobs"
+	"hsas/internal/sim"
+	"hsas/internal/world"
+)
+
+func main() {
+	caseNo := flag.String("case", "4", "evaluation case: 1, 2, 3, 4 or 'variable'")
+	trackName := flag.String("track", "nine", "'nine' (Fig. 7) or a 1-based situation index (Table III)")
+	width := flag.Int("width", 512, "camera width")
+	height := flag.Int("height", 256, "camera height")
+	seed := flag.Int64("seed", 1, "noise seed")
+	trace := flag.Bool("trace", false, "print one line per control cycle")
+	flag.Parse()
+
+	var c knobs.Case
+	switch *caseNo {
+	case "1", "2", "3", "4":
+		n, _ := strconv.Atoi(*caseNo)
+		c = knobs.Case(n)
+	case "variable", "v":
+		c = knobs.CaseVariable
+	default:
+		fmt.Fprintf(os.Stderr, "unknown case %q\n", *caseNo)
+		os.Exit(2)
+	}
+
+	var track *world.Track
+	if *trackName == "nine" {
+		track = world.NineSectorTrack()
+	} else {
+		i, err := strconv.Atoi(*trackName)
+		if err != nil || i < 1 || i > len(world.PaperSituations) {
+			fmt.Fprintf(os.Stderr, "unknown track %q\n", *trackName)
+			os.Exit(2)
+		}
+		track = world.SituationTrack(world.PaperSituations[i-1])
+	}
+
+	cfg := sim.Config{
+		Track:  track,
+		Camera: camera.Scaled(*width, *height),
+		Case:   c,
+		Seed:   *seed,
+	}
+	if *trace {
+		cfg.Trace = func(p sim.TracePoint) {
+			fmt.Printf("t=%7.3f s=%7.2f sector=%d ylTrue=%+.3f ylMeas=%+.3f ok=%v steer=%+.4f %v h=%g tau=%.1f\n",
+				p.TimeS, p.S, p.Sector, p.YLTrue, p.YLMeas, p.DetOK, p.Steer, p.Setting, p.HMs, p.TauMs)
+		}
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%v on %s track (%dx%d, seed %d)\n", c, *trackName, *width, *height, *seed)
+	fmt.Printf("  frames: %d   detection failures: %d   detection accuracy: %.1f%%\n",
+		res.Frames, res.DetectFails, 100*res.Detection.Value())
+	for i := 1; i <= res.PerSector.Len(); i++ {
+		if res.PerSector.SectorN(i) == 0 {
+			fmt.Printf("  sector %d: (not reached)\n", i)
+			continue
+		}
+		fmt.Printf("  sector %d: MAE %.4f m (%d samples)\n", i, res.PerSector.Sector(i), res.PerSector.SectorN(i))
+	}
+	fmt.Printf("  overall MAE: %.4f m over %.1f m of track\n", res.MAE, res.CompletedS)
+	if res.Crashed {
+		fmt.Printf("  CRASHED in sector %d at t=%.2f s\n", res.CrashSector, res.CrashTimeS)
+		os.Exit(3)
+	}
+	fmt.Println("  completed without failure")
+}

@@ -1,0 +1,68 @@
+// LQG under sensing noise: the paper's conclusion names "modeling the
+// sensor noise in a linear-quadratic gaussian (LQG) controller" as future
+// work (Sec. IV-C, the situation-15 discussion). This example builds
+// delay-aware controllers whose Kalman observer is tuned to different
+// assumed noise levels and compares their noise rejection on the
+// linearized loop: the noise-aware design filters harder exactly when the
+// situation's sensing is noisier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"hsas"
+	"hsas/internal/control"
+	"hsas/internal/mat"
+)
+
+func main() {
+	plant := hsas.BMWX5()
+
+	// Timing of a turn situation from Table III: 30 km/h, h = tau = 25 ms.
+	const speed, h, tau = 30.0, 0.025, 0.025
+
+	fmt.Println("noise rejection on the linearized closed loop")
+	fmt.Println("(MAE of true yL, starting regulated, per measurement-noise level)")
+	fmt.Printf("%-12s %16s %16s %8s\n", "sigma [m]", "clean-tuned obs", "noise-aware LQG", "gain")
+	for _, sigma := range []float64{0.05, 0.15, 0.30, 0.50} {
+		// Observer tuned assuming clean measurements (5 cm sigma)…
+		cleanTuned, err := hsas.NewLQGDesign(plant, speed, h, tau, hsas.LookAhead,
+			hsas.NoiseModel{MeasurementVar: 0.05 * 0.05, ProcessVar: 1e-3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// …vs the observer tuned to the actual noise level.
+		aware, err := hsas.NewLQGDesign(plant, speed, h, tau, hsas.LookAhead,
+			hsas.NoiseModel{MeasurementVar: sigma * sigma, ProcessVar: 1e-4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		maeClean := simulate(cleanTuned, sigma)
+		maeAware := simulate(aware, sigma)
+		fmt.Printf("%-12.2f %16.4f %16.4f %7.0f%%\n",
+			sigma, maeClean, maeAware, 100*(1-maeAware/maeClean))
+	}
+	fmt.Println("\nthe noise-aware observer filters harder as the situation gets")
+	fmt.Println("noisier (dotted markings, night scenes) — the paper's proposed")
+	fmt.Println("remedy for the situation-15 QoC anomaly")
+}
+
+// simulate runs the linearized closed loop with Gaussian measurement
+// noise for 30 s and returns the MAE of the true lateral deviation.
+func simulate(d *control.Design, sigma float64) float64 {
+	rng := rand.New(rand.NewSource(42))
+	ctl := control.NewController(d)
+	z := mat.New(d.Phi.Rows, 1)
+	var mae float64
+	const steps = 1200
+	for k := 0; k < steps; k++ {
+		y := mat.Mul(d.C, z).At(0, 0)
+		mae += math.Abs(y)
+		u := ctl.Step(y+sigma*rng.NormFloat64(), 0)
+		z = mat.Add(mat.Mul(d.Phi, z), mat.Scale(u, d.Gamma))
+	}
+	return mae / steps
+}

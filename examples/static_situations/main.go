@@ -1,0 +1,65 @@
+// Static situations: the Fig. 6 analysis on a subset of the paper's 21
+// situations — evaluate cases 1-4 on each single-situation track and
+// print MAE normalized to case 3 (the paper's presentation), with "fail"
+// marking crashed runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hsas"
+)
+
+func main() {
+	all := flag.Bool("all", false, "evaluate all 21 situations (slow); default is a representative subset")
+	flag.Parse()
+
+	// A representative subset spanning straights, turns, dotted lanes and
+	// scenes: situations 1, 3, 7, 8, 13, 15 of Table III.
+	indices := []int{1, 3, 7, 8, 13, 15}
+	if *all {
+		indices = indices[:0]
+		for i := 1; i <= len(hsas.PaperSituations); i++ {
+			indices = append(indices, i)
+		}
+	}
+
+	cam := hsas.ScaledCamera(224, 112)
+	cases := []hsas.Case{hsas.Case1, hsas.Case2, hsas.Case3, hsas.Case4}
+
+	fmt.Printf("%-4s %-38s %10s %10s %10s %10s\n", "sit", "details", "case 1", "case 2", "case 3", "case 4")
+	for _, idx := range indices {
+		sit := hsas.PaperSituations[idx-1]
+		track := hsas.SituationTrack(sit)
+
+		var mae [4]float64
+		var crashed [4]bool
+		for ci, c := range cases {
+			res, err := hsas.Run(hsas.SimConfig{Track: track, Camera: cam, Case: c, Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sector := 1
+			if sit.Layout != hsas.Straight {
+				sector = 2
+			}
+			mae[ci] = res.PerSector.Sector(sector)
+			crashed[ci] = res.Crashed
+		}
+
+		fmt.Printf("%-4d %-38s", idx, sit)
+		base := mae[2]
+		for ci := range cases {
+			if crashed[ci] || base == 0 {
+				fmt.Printf("%10s", "fail")
+			} else {
+				fmt.Printf("%10.3f", mae[ci]/base)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nvalues are MAE normalized to case 3, as in the paper's Fig. 6;")
+	fmt.Println("'fail' marks runs that left the lane corridor (LKAS failure)")
+}

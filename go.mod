@@ -1,0 +1,3 @@
+module hsas
+
+go 1.22

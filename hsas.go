@@ -1,0 +1,283 @@
+// Package hsas is the public API of the hardware- and situation-aware
+// sensing library, a reproduction of De et al., "Hardware- and
+// Situation-Aware Sensing for Robust Closed-Loop Control Systems"
+// (DATE 2021).
+//
+// The library provides, end to end:
+//
+//   - the situation taxonomy of Table I (road layout × lane marking ×
+//     scene) and parametric tracks including the paper's 21 evaluation
+//     situations and the nine-sector dynamic case study of Fig. 7;
+//   - a synthetic RAW camera, the five-stage ISP with the approximate
+//     configurations S0–S8 of Table II, and the sliding-window lane
+//     perception stage with the five ROI knobs;
+//   - delay-aware LQR control design annotated with (h, tau) pairs and a
+//     switching-stability certificate (common quadratic Lyapunov
+//     function);
+//   - an NVIDIA AGX Xavier timing model seeded with the paper's profiled
+//     runtimes, which turns knob choices into (tau, h, FPS);
+//   - three light-weight CNN situation classifiers trained on synthetic
+//     data (Table IV) with a from-scratch CNN framework;
+//   - the design flow itself: design-time characterization regenerating
+//     Table III, runtime reconfiguration with the one-cycle ISP delay,
+//     and the classifier invocation policies including the variable
+//     scheme of Sec. IV-E;
+//   - a closed-loop hardware-in-the-loop substitute (fixed 5 ms step)
+//     that evaluates all of the above and reproduces the paper's
+//     experiments (see EXPERIMENTS.md).
+//
+// Most users start with Run (one closed-loop evaluation), Characterize
+// (the design-time flow) or TrainClassifier (Table IV):
+//
+//	track := hsas.NineSectorTrack()
+//	res, err := hsas.Run(hsas.SimConfig{Track: track, Case: hsas.Case4})
+//
+// The examples/ directory contains runnable walkthroughs.
+package hsas
+
+import (
+	"hsas/internal/approx"
+	"hsas/internal/camera"
+	"hsas/internal/classifier"
+	"hsas/internal/cnn"
+	"hsas/internal/control"
+	"hsas/internal/core"
+	"hsas/internal/isp"
+	"hsas/internal/knobs"
+	"hsas/internal/perception"
+	"hsas/internal/platform"
+	"hsas/internal/scheduler"
+	"hsas/internal/sim"
+	"hsas/internal/trace"
+	"hsas/internal/vehicle"
+	"hsas/internal/world"
+)
+
+// Situation taxonomy (Table I).
+type (
+	// Situation is a combination of environmental factors (Table I).
+	Situation = world.Situation
+	// LaneMarking is a marking's color and form.
+	LaneMarking = world.LaneMarking
+	// RoadLayout is straight / left turn / right turn.
+	RoadLayout = world.RoadLayout
+	// Scene is the scene/weather factor.
+	Scene = world.Scene
+	// Track is a parametric road built from constant-curvature segments.
+	Track = world.Track
+	// Segment is one homogeneous piece of a track.
+	Segment = world.Segment
+)
+
+// Road layouts.
+const (
+	Straight  = world.Straight
+	LeftTurn  = world.LeftTurn
+	RightTurn = world.RightTurn
+)
+
+// Lane colors and forms.
+const (
+	White            = world.White
+	Yellow           = world.Yellow
+	Continuous       = world.Continuous
+	Dotted           = world.Dotted
+	DoubleContinuous = world.DoubleContinuous
+)
+
+// Scenes.
+const (
+	Day   = world.Day
+	Night = world.Night
+	Dark  = world.Dark
+	Dawn  = world.Dawn
+	Dusk  = world.Dusk
+)
+
+// PaperSituations lists the 21 situations of Table III.
+var PaperSituations = world.PaperSituations
+
+// NewTrack assembles a custom track; SituationTrack builds the
+// single-situation track used by the static evaluation; NineSectorTrack
+// is the Fig. 7 dynamic case study.
+var (
+	NewTrack        = world.NewTrack
+	SituationTrack  = world.SituationTrack
+	NineSectorTrack = world.NineSectorTrack
+)
+
+// Knobs and evaluation cases (Tables II and V).
+type (
+	// KnobSetting is one complete configurable-knob assignment.
+	KnobSetting = knobs.Setting
+	// KnobTable maps situations to their characterized best setting.
+	KnobTable = knobs.Table
+	// Case is a Table V evaluation configuration.
+	Case = knobs.Case
+)
+
+// Evaluation cases.
+const (
+	Case1        = knobs.Case1
+	Case2        = knobs.Case2
+	Case3        = knobs.Case3
+	Case4        = knobs.Case4
+	CaseVariable = knobs.CaseVariable
+)
+
+// PaperTable returns Table III as a lookup table.
+var PaperTable = knobs.PaperTable
+
+// Camera and platform models.
+type (
+	// Camera is the synthetic front camera's intrinsics and mounting.
+	Camera = camera.Camera
+	// Platform is the target hardware timing model.
+	Platform = platform.Platform
+	// VehicleParams is the single-track plant parameterization.
+	VehicleParams = vehicle.Params
+)
+
+// DefaultCamera is the paper's 512×256 front camera; ScaledCamera keeps
+// the geometry at a different resolution. Xavier is the 30 W NVIDIA AGX
+// Xavier; BMWX5 the plant driven in all experiments.
+var (
+	DefaultCamera = camera.Default
+	ScaledCamera  = camera.Scaled
+	Xavier        = platform.Xavier
+	BMWX5         = vehicle.BMWX5
+)
+
+// ISPConfigs lists the Table II ISP knobs S0–S8; ISPByID resolves one.
+var (
+	ISPConfigs = isp.Knobs
+	ISPByID    = isp.ByID
+)
+
+// ROIByID resolves a Table II perception ROI knob (1–5).
+var ROIByID = perception.ROIByID
+
+// LookAhead is the controller look-ahead distance LL (5.5 m).
+const LookAhead = perception.LookAhead
+
+// Closed-loop simulation (the HiL substitute).
+type (
+	// SimConfig parameterizes one closed-loop run.
+	SimConfig = sim.Config
+	// SimResult summarizes one run.
+	SimResult = sim.Result
+	// TracePoint is one control-cycle sample.
+	TracePoint = sim.TracePoint
+	// Sensors bundles the three situation sensors used in the loop.
+	Sensors = sim.Sensors
+)
+
+// Run executes one closed-loop evaluation; OracleSensors returns perfect
+// situation sensors (the default); ForCase returns a case's classifier
+// invocation policy.
+var (
+	Run           = sim.Run
+	OracleSensors = sim.OracleSensors
+	ForCase       = scheduler.ForCase
+)
+
+// Design flow (the paper's contribution).
+type (
+	// CharacterizeConfig parameterizes the design-time knob sweep.
+	CharacterizeConfig = core.CharacterizeConfig
+	// CharacterizationResult holds the regenerated Table III.
+	CharacterizationResult = core.Result
+	// Reconfigurator applies runtime reconfiguration in any loop.
+	Reconfigurator = core.Reconfigurator
+)
+
+// Characterize runs the design-time flow; NewReconfigurator embeds the
+// runtime reconfiguration; VerifySwitchingStability certifies the
+// controller bank's common Lyapunov function; AnalyzeSensitivity is the
+// Monte-Carlo knob screening of Sec. III-B.
+var (
+	Characterize             = core.Characterize
+	NewReconfigurator        = core.NewReconfigurator
+	VerifySwitchingStability = core.VerifySwitchingStability
+	AnalyzeSensitivity       = core.AnalyzeSensitivity
+)
+
+// SensitivityConfig parameterizes the Monte-Carlo knob screening;
+// SensitivityResult ranks the knobs by QoC impact.
+type (
+	SensitivityConfig = core.SensitivityConfig
+	SensitivityResult = core.SensitivityResult
+)
+
+// NoiseModel characterizes situation-dependent sensing noise for the LQG
+// control extension (the paper's named future work).
+type NoiseModel = control.NoiseModel
+
+// NewLQGDesign builds a noise-aware controller design; DefaultNoise is a
+// mid-range sensing noise model; NewController instantiates the runtime
+// controller for a design.
+var (
+	NewLQGDesign  = control.NewLQGDesign
+	DefaultNoise  = control.DefaultNoise
+	NewController = control.NewController
+)
+
+// Situation classifiers (Table IV).
+type (
+	// ClassifierKind selects road / lane / scene.
+	ClassifierKind = classifier.Kind
+	// Classifier is a trained situation classifier.
+	Classifier = classifier.Classifier
+	// ClassifierReport is a Table IV-style training summary.
+	ClassifierReport = classifier.Report
+	// DatasetConfig controls synthetic dataset generation.
+	DatasetConfig = classifier.DatasetConfig
+	// TrainConfig controls CNN training.
+	TrainConfig = cnn.TrainConfig
+)
+
+// Classifier kinds.
+const (
+	RoadClassifier  = classifier.Road
+	LaneClassifier  = classifier.Lane
+	SceneClassifier = classifier.Scene
+)
+
+// TrainClassifier trains one situation classifier on synthetic data;
+// DefaultDatasetConfig and DefaultTrainConfig give the laptop-scale
+// defaults used by cmd/train-classifiers.
+var (
+	TrainClassifier      = classifier.Train
+	DefaultDatasetConfig = classifier.DefaultDatasetConfig
+	DefaultTrainConfig   = cnn.DefaultTrainConfig
+	DatasetConfigFor     = classifier.DatasetConfigFor
+	TrainConfigFor       = classifier.TrainConfigFor
+)
+
+// ApproxQuality is one point of the ISP latency-vs-quality frontier (the
+// approximation trade-off of reference [8] that the characterization
+// navigates).
+type ApproxQuality = approx.Quality
+
+// PSNR and SSIM score approximate ISP outputs against the full pipeline;
+// ApproxSweep produces the full Table II frontier for a RAW frame.
+var (
+	PSNR        = approx.PSNR
+	SSIM        = approx.SSIM
+	ApproxSweep = approx.Sweep
+)
+
+// Trace recording and analysis (the IMACS-framework role in the paper's
+// HiL setup).
+type (
+	// TraceRecorder accumulates per-cycle samples from a run; wire its
+	// Add method to SimConfig.Trace.
+	TraceRecorder = trace.Recorder
+	// TraceMetrics summarizes a recorded run (settling time, peak,
+	// control effort, detection availability, reconfigurations).
+	TraceMetrics = trace.Metrics
+)
+
+// AnalyzeTrace computes the transient and steady-state metrics of a
+// recorded run.
+var AnalyzeTrace = trace.Analyze

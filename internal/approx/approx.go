@@ -1,0 +1,132 @@
+// Package approx quantifies ISP approximation error, the trade-off the
+// paper inherits from De et al. [8] ("Approximation trade-offs in an
+// image-based control system"): skipping ISP stages saves latency
+// (Table II) at the cost of image quality, and the characterization
+// decides per situation whether the QoC gain from faster sampling
+// outweighs the QoC loss from approximation error (Sec. IV-C discusses
+// exactly this balance for situation 15).
+//
+// The package provides the standard full-reference quality metrics (PSNR,
+// SSIM) against the full S0 pipeline, and a sweep helper that produces
+// the latency-vs-quality frontier of the S0–S8 knob space.
+package approx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hsas/internal/isp"
+	"hsas/internal/raster"
+)
+
+// MSE returns the mean squared error between two images of equal size
+// across all three channels.
+func MSE(a, b *raster.RGB) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("approx: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var sum float64
+	for _, ch := range [3][2][]float32{{a.R, b.R}, {a.G, b.G}, {a.B, b.B}} {
+		for i := range ch[0] {
+			d := float64(ch[0][i] - ch[1][i])
+			sum += d * d
+		}
+	}
+	return sum / float64(3*a.W*a.H), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB against a peak of 1.0
+// (linear-light float images). Identical images return +Inf.
+func PSNR(a, b *raster.RGB) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(1/mse), nil
+}
+
+// SSIM returns the mean structural similarity index over 8×8 windows of
+// the luma channel, with the standard stabilizing constants.
+func SSIM(a, b *raster.RGB) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("approx: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	la, lb := a.Luma(), b.Luma()
+	const win = 8
+	const c1 = 0.01 * 0.01
+	const c2 = 0.03 * 0.03
+	var total float64
+	n := 0
+	for y0 := 0; y0+win <= a.H; y0 += win {
+		for x0 := 0; x0+win <= a.W; x0 += win {
+			var sa, sb, saa, sbb, sab float64
+			for y := y0; y < y0+win; y++ {
+				for x := x0; x < x0+win; x++ {
+					va := float64(la.At(x, y))
+					vb := float64(lb.At(x, y))
+					sa += va
+					sb += vb
+					saa += va * va
+					sbb += vb * vb
+					sab += va * vb
+				}
+			}
+			m := float64(win * win)
+			ma, mb := sa/m, sb/m
+			va := saa/m - ma*ma
+			vb := sbb/m - mb*mb
+			cov := sab/m - ma*mb
+			ssim := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+			total += ssim
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("approx: image smaller than the %d-pixel SSIM window", win)
+	}
+	return total / float64(n), nil
+}
+
+// Quality is one point of the latency-vs-quality frontier: an ISP
+// configuration's Table II latency and its image quality against S0.
+type Quality struct {
+	ID       string
+	XavierMs float64
+	PSNRdB   float64
+	SSIM     float64
+}
+
+// Sweep processes the RAW mosaic with every Table II configuration and
+// scores each against the full S0 reference. Results are sorted by
+// latency (ascending), so the frontier reads bottom-up.
+func Sweep(raw *raster.Bayer) ([]Quality, error) {
+	ref, ok := isp.ByID("S0")
+	if !ok {
+		return nil, fmt.Errorf("approx: S0 missing")
+	}
+	refImg := ref.Process(raw)
+	var out []Quality
+	for _, cfg := range isp.Knobs {
+		img := cfg.Process(raw)
+		psnr, err := PSNR(refImg, img)
+		if err != nil {
+			return nil, err
+		}
+		ssim, err := SSIM(refImg, img)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Quality{
+			ID:       cfg.ID,
+			XavierMs: isp.XavierRuntimeMs[cfg.ID],
+			PSNRdB:   psnr,
+			SSIM:     ssim,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].XavierMs < out[j].XavierMs })
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsas/internal/camera"
+	"hsas/internal/raster"
+	"hsas/internal/world"
+)
+
+func randomImage(w, h int, seed int64) *raster.RGB {
+	rng := rand.New(rand.NewSource(seed))
+	img := raster.NewRGB(w, h)
+	for i := range img.R {
+		img.R[i] = float32(rng.Float64())
+		img.G[i] = float32(rng.Float64())
+		img.B[i] = float32(rng.Float64())
+	}
+	return img
+}
+
+func TestMSEIdentityAndSymmetry(t *testing.T) {
+	a := randomImage(16, 16, 1)
+	if v, err := MSE(a, a); err != nil || v != 0 {
+		t.Fatalf("MSE(a, a) = %v, %v", v, err)
+	}
+	b := randomImage(16, 16, 2)
+	ab, _ := MSE(a, b)
+	ba, _ := MSE(b, a)
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Fatalf("MSE not symmetric: %v vs %v", ab, ba)
+	}
+	if ab <= 0 {
+		t.Fatalf("MSE of different images = %v", ab)
+	}
+}
+
+func TestMSESizeMismatch(t *testing.T) {
+	if _, err := MSE(randomImage(8, 8, 1), randomImage(8, 4, 1)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := raster.NewRGB(8, 8)
+	b := raster.NewRGB(8, 8)
+	// Uniform difference of 0.1 -> MSE = 0.01 -> PSNR = 20 dB.
+	for i := range b.R {
+		b.R[i], b.G[i], b.B[i] = 0.1, 0.1, 0.1
+	}
+	psnr, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(psnr-20) > 1e-6 {
+		t.Fatalf("PSNR = %v, want 20", psnr)
+	}
+	if v, _ := PSNR(a, a); !math.IsInf(v, 1) {
+		t.Fatalf("PSNR of identical images = %v", v)
+	}
+}
+
+func TestSSIMProperties(t *testing.T) {
+	a := randomImage(32, 32, 3)
+	if v, err := SSIM(a, a); err != nil || math.Abs(v-1) > 1e-9 {
+		t.Fatalf("SSIM(a, a) = %v, %v", v, err)
+	}
+	// Heavily corrupted copy scores lower than a lightly corrupted one.
+	light := a.Clone()
+	heavy := a.Clone()
+	rng := rand.New(rand.NewSource(4))
+	for i := range light.R {
+		light.R[i] += float32(rng.NormFloat64() * 0.02)
+		heavy.R[i] += float32(rng.NormFloat64() * 0.3)
+	}
+	sLight, _ := SSIM(a, light)
+	sHeavy, _ := SSIM(a, heavy)
+	if !(sLight > sHeavy) {
+		t.Fatalf("SSIM ordering broken: light %v heavy %v", sLight, sHeavy)
+	}
+	if _, err := SSIM(raster.NewRGB(4, 4), raster.NewRGB(4, 4)); err == nil {
+		t.Fatal("sub-window image accepted")
+	}
+}
+
+// TestSweepFrontier: the approximate configurations must actually lose
+// image quality against S0, and S0 scores perfect against itself.
+func TestSweepFrontier(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	tr := world.SituationTrack(sit)
+	rend := camera.NewRenderer(tr, camera.Scaled(128, 64))
+	raw := rend.RenderRAW(camera.PoseOnTrack(tr, 15, 0, 0), 7)
+
+	quals, err := Sweep(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quals) != 9 {
+		t.Fatalf("frontier size = %d", len(quals))
+	}
+	byID := map[string]Quality{}
+	for i := 1; i < len(quals); i++ {
+		if quals[i].XavierMs < quals[i-1].XavierMs {
+			t.Fatal("frontier not sorted by latency")
+		}
+	}
+	for _, q := range quals {
+		byID[q.ID] = q
+		if q.SSIM < 0 || q.SSIM > 1.0001 {
+			t.Fatalf("%s SSIM = %v", q.ID, q.SSIM)
+		}
+	}
+	if !math.IsInf(byID["S0"].PSNRdB, 1) {
+		t.Fatalf("S0 vs S0 PSNR = %v", byID["S0"].PSNRdB)
+	}
+	// Dropping the tone map (S4) must hurt quality badly in linear terms;
+	// dropping only denoise (S1) must hurt far less.
+	if byID["S1"].PSNRdB <= byID["S4"].PSNRdB {
+		t.Fatalf("S1 (%v dB) should beat S4 (%v dB) against the S0 reference",
+			byID["S1"].PSNRdB, byID["S4"].PSNRdB)
+	}
+	for _, id := range []string{"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"} {
+		if math.IsInf(byID[id].PSNRdB, 1) {
+			t.Fatalf("%s scored as identical to S0", id)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package baselines implements the lane-detection comparators of the
+// paper's Fig. 1 motivation study: the classical edge-based detector
+// (Sobel gradients + Hough transform, the [4]-[7] family), the sliding-
+// window detector with a fixed ROI (the hardware-efficient but
+// situation-fragile baseline of [8], [9]), the same detector with
+// situation-aware ROI selection (this paper), and published-performance
+// surrogates for the end-to-end CNN approaches (VPGNet, LaneNet) that
+// this repository does not retrain.
+package baselines
+
+import (
+	"math"
+
+	"hsas/internal/camera"
+	"hsas/internal/isp"
+	"hsas/internal/knobs"
+	"hsas/internal/perception"
+	"hsas/internal/raster"
+	"hsas/internal/world"
+)
+
+// Method identifies a Fig. 1 comparator.
+type Method struct {
+	Name string
+	// XavierFPS is the frame rate on the NVIDIA AGX Xavier at 30 W. For
+	// implemented methods it comes from the platform timing model; for
+	// SOTA surrogates from published profiles (see DESIGN.md).
+	XavierFPS float64
+	// Surrogate marks methods whose accuracy is quoted, not measured.
+	Surrogate bool
+	// SurrogateAccuracy is the quoted detection accuracy for surrogates.
+	SurrogateAccuracy float64
+}
+
+// SOTASurrogates lists the end-to-end CNN comparators of Fig. 1 with
+// their quoted accuracy and Xavier frame rates. They anchor the
+// "accurate but too slow for closed-loop use" corner of the trade-off.
+var SOTASurrogates = []Method{
+	{Name: "VPGNet (surrogate)", XavierFPS: 1.6, Surrogate: true, SurrogateAccuracy: 0.96},
+	{Name: "LaneNet (surrogate)", XavierFPS: 5.2, Surrogate: true, SurrogateAccuracy: 0.97},
+}
+
+// Detector is a lane detector measuring the lateral deviation yL.
+type Detector interface {
+	Name() string
+	// Detect returns the measured lateral deviation of the lane center at
+	// the look-ahead distance; ok is false when no lane was found.
+	Detect(img *raster.RGB, sit world.Situation) (yl float64, ok bool)
+	// PipelineMs is the per-frame cost on the Xavier timing model.
+	PipelineMs() float64
+}
+
+// SlidingWindow wraps the repository's perception stage. When Aware is
+// true the ROI tracks the situation (the paper's approach, requiring the
+// classifier pipeline); otherwise ROI 1 is fixed (the traditional
+// hardware-efficient baseline, 52 % accuracy in Fig. 1).
+type SlidingWindow struct {
+	Det   *perception.Detector
+	Aware bool
+}
+
+// NewSlidingWindow builds the detector for a camera geometry.
+func NewSlidingWindow(cam camera.Camera, aware bool) *SlidingWindow {
+	return &SlidingWindow{Det: perception.NewDetector(perception.NewGeometry(cam)), Aware: aware}
+}
+
+// Name implements Detector.
+func (s *SlidingWindow) Name() string {
+	if s.Aware {
+		return "sliding window + situation-aware ROI (ours)"
+	}
+	return "sliding window, fixed ROI"
+}
+
+// PipelineMs implements Detector: ISP S0 + PR, plus the three classifiers
+// when situation-aware.
+func (s *SlidingWindow) PipelineMs() float64 {
+	ms := isp.XavierRuntimeMs["S0"] + perception.XavierRuntimeMs
+	if s.Aware {
+		ms += 3 * 5.5
+	}
+	return ms
+}
+
+// Detect implements Detector.
+func (s *SlidingWindow) Detect(img *raster.RGB, sit world.Situation) (float64, bool) {
+	roiID := 1
+	if s.Aware {
+		roiID = knobs.RoadROI(sit.Layout, sit.Lane.Form == world.Dotted)
+	}
+	roi, _ := perception.ROIByID(roiID)
+	res := s.Det.Detect(img, roi, perception.LookAhead)
+	return res.YL, res.OK
+}
+
+// SobelHough is the classical detector: Sobel gradient magnitude over the
+// lower image, thresholding, and a Hough transform for the two dominant
+// lane lines, intersected at the look-ahead row.
+type SobelHough struct {
+	Geo  perception.Geometry
+	W, H int
+}
+
+// NewSobelHough builds the classical detector for a camera geometry.
+func NewSobelHough(cam camera.Camera) *SobelHough {
+	return &SobelHough{Geo: perception.NewGeometry(cam), W: cam.Width, H: cam.Height}
+}
+
+// Name implements Detector.
+func (s *SobelHough) Name() string { return "Sobel + Hough (classical)" }
+
+// PipelineMs implements Detector: comparable to the sliding-window PR on
+// the Xavier (both are cheap classical pipelines on the GPU).
+func (s *SobelHough) PipelineMs() float64 {
+	return isp.XavierRuntimeMs["S0"] + perception.XavierRuntimeMs
+}
+
+// Hough parameterization: lines as rho = x cos(theta) + y sin(theta).
+const (
+	houghThetaSteps = 60
+	houghRhoStep    = 3.0
+)
+
+// Detect implements Detector.
+func (s *SobelHough) Detect(img *raster.RGB, _ world.Situation) (float64, bool) {
+	luma := img.Luma()
+	w, h := luma.W, luma.H
+
+	// Sobel gradient magnitude over the road region (lower 55 %).
+	top := int(float64(h) * 0.45)
+	var mean, m2 float64
+	grad := make([]float64, w*h)
+	n := 0.0
+	for y := top + 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			gx := float64(luma.At(x+1, y-1)) + 2*float64(luma.At(x+1, y)) + float64(luma.At(x+1, y+1)) -
+				float64(luma.At(x-1, y-1)) - 2*float64(luma.At(x-1, y)) - float64(luma.At(x-1, y+1))
+			gy := float64(luma.At(x-1, y+1)) + 2*float64(luma.At(x, y+1)) + float64(luma.At(x+1, y+1)) -
+				float64(luma.At(x-1, y-1)) - 2*float64(luma.At(x, y-1)) - float64(luma.At(x+1, y-1))
+			g := math.Hypot(gx, gy)
+			grad[y*w+x] = g
+			mean += g
+			m2 += g * g
+			n++
+		}
+	}
+	mean /= n
+	std := math.Sqrt(math.Max(m2/n-mean*mean, 0))
+	th := mean + 2*std
+
+	// Hough accumulation over edge pixels.
+	maxRho := math.Hypot(float64(w), float64(h))
+	nRho := int(2*maxRho/houghRhoStep) + 1
+	acc := make([]int, houghThetaSteps*nRho)
+	sinT := make([]float64, houghThetaSteps)
+	cosT := make([]float64, houghThetaSteps)
+	for t := 0; t < houghThetaSteps; t++ {
+		theta := -math.Pi/2 + math.Pi*float64(t)/float64(houghThetaSteps)
+		sinT[t], cosT[t] = math.Sin(theta), math.Cos(theta)
+	}
+	for y := top + 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			if grad[y*w+x] < th {
+				continue
+			}
+			for t := 0; t < houghThetaSteps; t++ {
+				rho := float64(x)*cosT[t] + float64(y)*sinT[t]
+				r := int((rho + maxRho) / houghRhoStep)
+				if r >= 0 && r < nRho {
+					acc[t*nRho+r]++
+				}
+			}
+		}
+	}
+
+	// Dominant line per side: lane lines lean inward, so the left line
+	// has theta in (10°, 80°) and the right in (-80°, -10°) measured from
+	// the vertical; convert via the Hough normal angle.
+	bestLeft, bestRight := -1, -1
+	bestLeftV, bestRightV := 0, 0
+	for t := 0; t < houghThetaSteps; t++ {
+		theta := -math.Pi/2 + math.Pi*float64(t)/float64(houghThetaSteps)
+		for r := 0; r < nRho; r++ {
+			v := acc[t*nRho+r]
+			if v < 25 {
+				continue
+			}
+			// A left lane line runs up-right in image coordinates, giving
+			// a positive Hough normal angle; the right lane the mirror.
+			if theta > 0.15 && theta < 1.40 {
+				if v > bestLeftV {
+					bestLeftV, bestLeft = v, t*nRho+r
+				}
+			} else if theta < -0.15 && theta > -1.40 {
+				if v > bestRightV {
+					bestRightV, bestRight = v, t*nRho+r
+				}
+			}
+		}
+	}
+	if bestLeft < 0 && bestRight < 0 {
+		return 0, false
+	}
+
+	// Intersect the found line(s) with the look-ahead row and convert to
+	// ground coordinates.
+	u, v, okp := s.Geo.GroundToImage(perception.LookAhead, 0)
+	if !okp {
+		return 0, false
+	}
+	_ = u
+	rowLL := v
+	lineX := func(idx int) float64 {
+		t := idx / nRho
+		r := idx % nRho
+		theta := -math.Pi/2 + math.Pi*float64(t)/float64(houghThetaSteps)
+		rho := float64(r)*houghRhoStep - maxRho
+		// x = (rho - y sin(theta)) / cos(theta)
+		return (rho - rowLL*math.Sin(theta)) / math.Cos(theta)
+	}
+	half := world.StandardLaneWidth / 2
+	switch {
+	case bestLeft >= 0 && bestRight >= 0:
+		xc := (lineX(bestLeft) + lineX(bestRight)) / 2
+		_, lat, ok := s.Geo.ImageToGround(xc, rowLL)
+		if !ok {
+			return 0, false
+		}
+		return lat, true
+	case bestLeft >= 0:
+		_, lat, ok := s.Geo.ImageToGround(lineX(bestLeft), rowLL)
+		if !ok {
+			return 0, false
+		}
+		return lat - half, true
+	default:
+		_, lat, ok := s.Geo.ImageToGround(lineX(bestRight), rowLL)
+		if !ok {
+			return 0, false
+		}
+		return lat + half, true
+	}
+}

@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"testing"
+
+	"hsas/internal/camera"
+	"hsas/internal/isp"
+	"hsas/internal/world"
+)
+
+func TestMethodsImplementDetector(t *testing.T) {
+	cam := camera.Scaled(192, 96)
+	var _ Detector = NewSobelHough(cam)
+	var _ Detector = NewSlidingWindow(cam, false)
+	var _ Detector = NewSlidingWindow(cam, true)
+}
+
+func TestPipelineCosts(t *testing.T) {
+	cam := camera.Scaled(192, 96)
+	fixed := NewSlidingWindow(cam, false)
+	aware := NewSlidingWindow(cam, true)
+	if aware.PipelineMs() <= fixed.PipelineMs() {
+		t.Fatal("situation-aware pipeline must cost more than fixed ROI")
+	}
+	if fixed.PipelineMs() != 24.5 {
+		t.Fatalf("fixed pipeline = %v ms, want 24.5 (S0 + PR)", fixed.PipelineMs())
+	}
+}
+
+func TestSobelHoughOnStraightDay(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	tr := world.SituationTrack(sit)
+	cam := camera.Scaled(256, 128)
+	rend := camera.NewRenderer(tr, cam)
+	s0, _ := isp.ByID("S0")
+	det := NewSobelHough(cam)
+	good := 0
+	for i := 0; i < 6; i++ {
+		vp := camera.PoseOnTrack(tr, 10+float64(i)*5, 0, 0)
+		img := s0.Process(rend.RenderRAW(vp, int64(i)))
+		yl, ok := det.Detect(img, sit)
+		if ok && yl > -0.5 && yl < 0.5 {
+			good++
+		}
+	}
+	if good < 4 {
+		t.Fatalf("classical detector found the lane in only %d/6 frames", good)
+	}
+}
+
+func TestEvaluateFig1SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset sweep skipped in -short")
+	}
+	evals := EvaluateFig1(camera.Scaled(192, 96), 2, 1)
+	if len(evals) != 5 {
+		t.Fatalf("methods = %d, want 5", len(evals))
+	}
+	byName := map[string]Eval{}
+	for _, e := range evals {
+		byName[e.Name] = e
+		if e.Accuracy < 0 || e.Accuracy > 1 {
+			t.Fatalf("%s accuracy = %v", e.Name, e.Accuracy)
+		}
+		if e.XavierFPS <= 0 {
+			t.Fatalf("%s FPS = %v", e.Name, e.XavierFPS)
+		}
+	}
+	ours := byName["sliding window + situation-aware ROI (ours)"]
+	fixed := byName["sliding window, fixed ROI"]
+	classical := byName["Sobel + Hough (classical)"]
+	// Fig. 1 shape: situation awareness buys accuracy at an FPS cost.
+	if ours.Accuracy <= fixed.Accuracy {
+		t.Fatalf("situation-aware (%.2f) not more accurate than fixed ROI (%.2f)", ours.Accuracy, fixed.Accuracy)
+	}
+	if ours.XavierFPS >= fixed.XavierFPS {
+		t.Fatal("situation-aware should be slower than fixed ROI")
+	}
+	if classical.Accuracy >= ours.Accuracy {
+		t.Fatalf("classical (%.2f) should not beat situation-aware (%.2f)", classical.Accuracy, ours.Accuracy)
+	}
+	// SOTA surrogates anchor the slow/accurate corner.
+	for _, e := range evals {
+		if e.Surrogate && (e.XavierFPS > 10 || e.Accuracy < 0.9) {
+			t.Fatalf("surrogate %s misplaced: %+v", e.Name, e)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"math"
+	"time"
+
+	"hsas/internal/camera"
+	"hsas/internal/isp"
+	"hsas/internal/metrics"
+	"hsas/internal/perception"
+	"hsas/internal/world"
+)
+
+// Eval is one Fig. 1 data point: a method's detection accuracy over the
+// situation-balanced dataset and its frame rates.
+type Eval struct {
+	Name     string
+	Accuracy float64
+	// XavierFPS from the platform timing model (or published profile for
+	// surrogates); GoFPS measured on this machine's implementation.
+	XavierFPS float64
+	GoFPS     float64
+	Surrogate bool
+}
+
+// sensorOverheadMs mirrors platform.Xavier().SensorOverheadMs for the
+// FPS conversion without importing the platform package here.
+const sensorOverheadMs = 0.1
+
+// EvaluateFig1 regenerates the paper's Fig. 1 trade-off: every method's
+// lane-detection accuracy over a dataset balanced across the 21 paper
+// situations (perSituation frames each, with pose jitter), plus frame
+// rates. Accuracy counts measurements within 0.3 m of ground truth.
+func EvaluateFig1(cam camera.Camera, perSituation int, seed int64) []Eval {
+	dets := []Detector{
+		NewSobelHough(cam),
+		NewSlidingWindow(cam, false),
+		NewSlidingWindow(cam, true),
+	}
+	accs := make([]metrics.DetectionAccuracy, len(dets))
+	for i := range accs {
+		accs[i].Tol = 0.3
+	}
+	elapsed := make([]time.Duration, len(dets))
+	frames := 0
+
+	s0, _ := isp.ByID("S0")
+	for si, sit := range world.PaperSituations {
+		track := world.SituationTrack(sit)
+		rend := camera.NewRenderer(track, cam)
+		for k := 0; k < perSituation; k++ {
+			s := 8 + float64(k*7%20)
+			if sit.Layout != world.Straight {
+				s = world.LeadInLength + 2 + float64(k*5%18)
+			}
+			lat := float64(k%5)*0.15 - 0.3
+			vp := camera.PoseOnTrack(track, s, lat, 0)
+			img := s0.Process(rend.RenderRAW(vp, seed+int64(si*1000+k)))
+
+			// Ground truth deviation at the look-ahead.
+			lx := vp.X + perception.LookAhead*cosA(vp.Psi)
+			ly := vp.Y + perception.LookAhead*sinA(vp.Psi)
+			_, glat, ok := track.Locate(lx, ly, vp.S, 10, 12, 9)
+			if !ok {
+				continue
+			}
+			truth := -glat
+			frames++
+			for i, d := range dets {
+				t0 := time.Now()
+				yl, ok := d.Detect(img, sit)
+				elapsed[i] += time.Since(t0)
+				accs[i].Add(yl, truth, ok)
+			}
+		}
+	}
+
+	out := make([]Eval, 0, len(dets)+len(SOTASurrogates))
+	for i, d := range dets {
+		goFPS := 0.0
+		if elapsed[i] > 0 {
+			goFPS = float64(frames) / elapsed[i].Seconds()
+		}
+		out = append(out, Eval{
+			Name:      d.Name(),
+			Accuracy:  accs[i].Value(),
+			XavierFPS: 1000 / (d.PipelineMs() + sensorOverheadMs),
+			GoFPS:     goFPS,
+		})
+	}
+	for _, m := range SOTASurrogates {
+		out = append(out, Eval{
+			Name:      m.Name,
+			Accuracy:  m.SurrogateAccuracy,
+			XavierFPS: m.XavierFPS,
+			Surrogate: true,
+		})
+	}
+	return out
+}
+
+func cosA(a float64) float64 { return math.Cos(a) }
+func sinA(a float64) float64 { return math.Sin(a) }

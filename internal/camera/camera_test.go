@@ -1,0 +1,234 @@
+package camera
+
+import (
+	"math"
+	"testing"
+
+	"hsas/internal/raster"
+	"hsas/internal/world"
+)
+
+func dayTrack() *world.Track {
+	return world.SituationTrack(world.Situation{
+		Layout: world.Straight,
+		Lane:   world.LaneMarking{Color: world.White, Form: world.Continuous},
+		Scene:  world.Day,
+	})
+}
+
+func testCam() Camera { return Scaled(128, 64) }
+
+func TestRendererHorizonSplitsSkyAndGround(t *testing.T) {
+	r := NewRenderer(dayTrack(), testCam())
+	img := r.RenderScene(PoseOnTrack(r.Track, 10, 0, 0))
+	// Top row must be sky (bright blue-ish in day), bottom row ground.
+	sky := skyColor(world.Day)
+	tr, tg, tb := img.At(64, 0)
+	if tr != sky[0] || tg != sky[1] || tb != sky[2] {
+		t.Fatalf("top pixel = %v %v %v, want sky %v", tr, tg, tb, sky)
+	}
+	br, bg, bb := img.At(64, 63)
+	if br == sky[0] && bg == sky[1] && bb == sky[2] {
+		t.Fatal("bottom pixel is sky; ground not rendered")
+	}
+}
+
+func TestLaneMarkingsVisibleInDay(t *testing.T) {
+	r := NewRenderer(dayTrack(), testCam())
+	img := r.RenderScene(PoseOnTrack(r.Track, 10, 0, 0))
+	// Scan the lower third for pixels much brighter than the median: the
+	// white continuous left marking must produce them.
+	luma := img.Luma()
+	var bright int
+	for y := luma.H * 2 / 3; y < luma.H; y++ {
+		for x := 0; x < luma.W; x++ {
+			if luma.At(x, y) > 0.6 {
+				bright++
+			}
+		}
+	}
+	if bright < 20 {
+		t.Fatalf("only %d bright marking pixels in day scene", bright)
+	}
+}
+
+func TestNightIsDarkerThanDay(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}}
+	daySit, nightSit, darkSit := sit, sit, sit
+	daySit.Scene = world.Day
+	nightSit.Scene = world.Night
+	darkSit.Scene = world.Dark
+
+	mean := func(s world.Situation) float64 {
+		tr := world.SituationTrack(s)
+		r := NewRenderer(tr, testCam())
+		img := r.RenderScene(PoseOnTrack(tr, 10, 0, 0))
+		luma := img.Luma()
+		var sum float64
+		for _, v := range luma.Pix {
+			sum += float64(v)
+		}
+		return sum / float64(len(luma.Pix))
+	}
+	d, n, k := mean(daySit), mean(nightSit), mean(darkSit)
+	if !(d > 2*n && n > k) {
+		t.Fatalf("scene brightness ordering broken: day %v night %v dark %v", d, n, k)
+	}
+}
+
+func TestHeadlightsIlluminateAhead(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Dark}
+	tr := world.SituationTrack(sit)
+	r := NewRenderer(tr, testCam())
+	img := r.RenderScene(PoseOnTrack(tr, 10, 0, 0))
+	luma := img.Luma()
+	// Bottom-center (close, inside the cone) must beat top-of-ground rows.
+	nearRow, farRow := luma.H-3, luma.H/2+4
+	var near, far float64
+	for x := luma.W / 3; x < luma.W*2/3; x++ {
+		near += float64(luma.At(x, nearRow))
+		far += float64(luma.At(x, farRow))
+	}
+	if near <= far*1.5 {
+		t.Fatalf("headlight cone missing: near %v far %v", near, far)
+	}
+}
+
+func TestYellowMarkingHasColor(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.Yellow, Form: world.Continuous}, Scene: world.Day}
+	tr := world.SituationTrack(sit)
+	r := NewRenderer(tr, testCam())
+	img := r.RenderScene(PoseOnTrack(tr, 10, 0, 0))
+	// Find the most yellow pixel in the lower half: R-B gap must be large.
+	var bestGap float32
+	for y := img.H / 2; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			r8, _, b8 := img.At(x, y)
+			if gap := r8 - b8; gap > bestGap {
+				bestGap = gap
+			}
+		}
+	}
+	if bestGap < 0.3 {
+		t.Fatalf("yellow marking not distinctly colored: max R-B gap %v", bestGap)
+	}
+}
+
+func TestMosaicDeterministicPerSeed(t *testing.T) {
+	r := NewRenderer(dayTrack(), testCam())
+	vp := PoseOnTrack(r.Track, 10, 0, 0)
+	a := r.RenderRAW(vp, 7)
+	b := r.RenderRAW(vp, 7)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("same seed produced different RAW at %d", i)
+		}
+	}
+	c := r.RenderRAW(vp, 8)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestMosaicQuantizedAndBounded(t *testing.T) {
+	r := NewRenderer(dayTrack(), testCam())
+	raw := r.RenderRAW(PoseOnTrack(r.Track, 10, 0, 0), 3)
+	for i, v := range raw.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("RAW sample %d out of range: %v", i, v)
+		}
+		q := float64(v) * QuantLevel
+		if math.Abs(q-math.Round(q)) > 1e-3 {
+			t.Fatalf("RAW sample %d not quantized: %v", i, v)
+		}
+	}
+}
+
+func TestMosaicCrosstalkOnWhite(t *testing.T) {
+	// A pure white scene should produce roughly equal RAW responses
+	// (matrix rows sum to 1), while a pure red scene should leak into G/B.
+	scene := raster.NewRGB(4, 4)
+	for i := range scene.R {
+		scene.R[i] = 1
+	}
+	r := NewRenderer(dayTrack(), Scaled(4, 4))
+	raw := r.Mosaic(scene, 1)
+	// Average G cells: should be near SensorMatrix[1][0] = 0.18, not 0.
+	var g float64
+	var n int
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if raster.ColorAt(x, y) == raster.CFAGreen {
+				g += float64(raw.At(x, y))
+				n++
+			}
+		}
+	}
+	g /= float64(n)
+	if g < 0.08 || g > 0.3 {
+		t.Fatalf("green crosstalk from red scene = %v, want ~0.18", g)
+	}
+}
+
+func TestPoseOnTrackHeadingOffset(t *testing.T) {
+	tr := dayTrack()
+	vp := PoseOnTrack(tr, 20, 1.0, 0.1)
+	if math.Abs(vp.Psi-0.1) > 1e-9 {
+		t.Fatalf("psi = %v, want 0.1", vp.Psi)
+	}
+	if math.Abs(vp.Y-1.0) > 1e-9 {
+		t.Fatalf("lateral offset not applied: y = %v", vp.Y)
+	}
+	if math.Abs(vp.S-20) > 1e-9 {
+		t.Fatalf("s hint = %v", vp.S)
+	}
+}
+
+func TestVignettingDarkensCorners(t *testing.T) {
+	r := NewRenderer(dayTrack(), testCam())
+	if r.vig[0] >= r.vig[len(r.vig)/2+r.Cam.Width/2] {
+		t.Fatal("corner vignetting not darker than center")
+	}
+}
+
+func TestTextureNoiseDeterministicBounded(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		x, y := float64(i)*0.37, float64(i)*0.73
+		v := textureNoise(x, y)
+		if v < -1 || v > 1 {
+			t.Fatalf("texture noise out of range: %v", v)
+		}
+		if v != textureNoise(x, y) {
+			t.Fatal("texture noise not deterministic")
+		}
+	}
+}
+
+func TestRenderOnCurve(t *testing.T) {
+	sit := world.Situation{Layout: world.RightTurn, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	tr := world.SituationTrack(sit)
+	r := NewRenderer(tr, testCam())
+	// Render from inside the curve segment.
+	s := world.LeadInLength + 10
+	img := r.RenderScene(PoseOnTrack(tr, s, 0, 0))
+	luma := img.Luma()
+	// Marking pixels must still exist (the curve stays in view).
+	var bright int
+	for y := luma.H / 2; y < luma.H; y++ {
+		for x := 0; x < luma.W; x++ {
+			if luma.At(x, y) > 0.6 {
+				bright++
+			}
+		}
+	}
+	if bright < 10 {
+		t.Fatalf("no markings rendered on curve (%d bright px)", bright)
+	}
+}

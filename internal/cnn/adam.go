@@ -1,0 +1,110 @@
+package cnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Adam is the Adam optimizer state for a network, an alternative to the
+// built-in momentum SGD for workloads where per-parameter step adaptation
+// converges faster (deeper variants of the classifier nets).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m [][]float32
+	v [][]float32
+}
+
+// NewAdam returns an optimizer with the usual defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update using the accumulated gradients (averaged
+// over batch samples) and clears nothing — pair with Network.ZeroGrad.
+func (a *Adam) Step(n *Network, batch int) {
+	if a.m == nil {
+		for _, l := range n.Layers {
+			for _, p := range l.Params() {
+				a.m = append(a.m, make([]float32, len(p.Data)))
+				a.v = append(a.v, make([]float32, len(p.Data)))
+			}
+		}
+	}
+	a.t++
+	inv := 1 / float64(batch)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	idx := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			m, v := a.m[idx], a.v[idx]
+			idx++
+			for i := range p.Data {
+				g := float64(p.Grad[i])*inv + a.WeightDecay*float64(p.Data[i])
+				m[i] = float32(a.Beta1*float64(m[i]) + (1-a.Beta1)*g)
+				v[i] = float32(a.Beta2*float64(v[i]) + (1-a.Beta2)*g*g)
+				mh := float64(m[i]) / bc1
+				vh := float64(v[i]) / bc2
+				p.Data[i] -= float32(a.LR * mh / (math.Sqrt(vh) + a.Eps))
+			}
+		}
+	}
+}
+
+// Dropout zeroes activations with probability P during training and
+// scales the survivors by 1/(1-P) (inverted dropout); it is the identity
+// at inference time.
+type Dropout struct {
+	P    float64
+	Seed int64
+
+	rng  *rand.Rand
+	mask []bool
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(c, h, w int) (int, int, int) { return c, h, w }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
+	if !train || d.P <= 0 {
+		return x
+	}
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(d.Seed))
+	}
+	out := NewTensor(x.C, x.H, x.W)
+	d.mask = make([]bool, len(x.Data))
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *Tensor) *Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	out := NewTensor(grad.C, grad.H, grad.W)
+	scale := float32(1 / (1 - d.P))
+	for i, g := range grad.Data {
+		if d.mask[i] {
+			out.Data[i] = g * scale
+		}
+	}
+	return out
+}

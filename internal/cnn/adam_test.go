@@ -1,0 +1,143 @@
+package cnn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func toySamples(n int, rng *rand.Rand) []Sample {
+	var samples []Sample
+	for i := 0; i < n; i++ {
+		x := NewTensor(1, 8, 8)
+		label := i % 2
+		base := float32(0.2)
+		if label == 1 {
+			base = 0.8
+		}
+		for j := range x.Data {
+			x.Data[j] = base + float32(rng.NormFloat64())*0.05
+		}
+		samples = append(samples, Sample{X: x, Label: label})
+	}
+	return samples
+}
+
+func toyNet(t *testing.T, rng *rand.Rand, extra ...Layer) *Network {
+	t.Helper()
+	layers := []Layer{
+		NewConv2D(1, 4, 3, 1, 1, rng),
+		&ReLU{},
+	}
+	layers = append(layers, extra...)
+	layers = append(layers, &GlobalAvgPool{}, NewDense(4, 2, rng))
+	net, err := NewNetwork(1, 8, 8, layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestAdamConvergesOnToyProblem: Adam must solve the brightness toy task.
+func TestAdamConvergesOnToyProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := toySamples(60, rng)
+	net := toyNet(t, rng)
+	opt := NewAdam(0.01)
+
+	for epoch := 0; epoch < 15; epoch++ {
+		net.ZeroGrad()
+		inBatch := 0
+		for _, s := range samples {
+			logits := net.Forward(s.X, true)
+			_, grad := LossAndGrad(logits, s.Label)
+			net.Backward(grad)
+			inBatch++
+			if inBatch == 16 {
+				opt.Step(net, inBatch)
+				net.ZeroGrad()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(net, inBatch)
+		}
+	}
+	if acc := net.Evaluate(samples); acc < 0.95 {
+		t.Fatalf("Adam accuracy %v", acc)
+	}
+}
+
+// TestDropoutInferenceIdentity: dropout must be the identity at inference.
+func TestDropoutInferenceIdentity(t *testing.T) {
+	d := &Dropout{P: 0.5, Seed: 1}
+	x := NewTensor(1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("dropout changed inference activations")
+		}
+	}
+}
+
+// TestDropoutTrainingStatistics: roughly P of the activations are zeroed
+// and the survivors are scaled to preserve the expectation.
+func TestDropoutTrainingStatistics(t *testing.T) {
+	d := &Dropout{P: 0.4, Seed: 7}
+	x := NewTensor(4, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y := d.Forward(x, true)
+	zeros := 0
+	var sum float64
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		}
+		sum += float64(v)
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if frac < 0.35 || frac > 0.45 {
+		t.Fatalf("dropped fraction %v, want ~0.4", frac)
+	}
+	mean := sum / float64(len(y.Data))
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("expectation not preserved: mean %v", mean)
+	}
+}
+
+// TestDropoutBackwardMatchesMask: gradients flow only through survivors.
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := &Dropout{P: 0.5, Seed: 3}
+	x := NewTensor(1, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y := d.Forward(x, true)
+	g := NewTensor(1, 8, 8)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	dx := d.Backward(g)
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatalf("gradient mask mismatch at %d", i)
+		}
+	}
+}
+
+// TestDropoutInNetworkTrains: a net with dropout still converges.
+func TestDropoutInNetworkTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := toySamples(60, rng)
+	net := toyNet(t, rng, &Dropout{P: 0.2, Seed: 2})
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 14
+	net.Fit(samples, cfg)
+	if acc := net.Evaluate(samples); acc < 0.9 {
+		t.Fatalf("dropout net accuracy %v", acc)
+	}
+}

@@ -1,0 +1,407 @@
+package cnn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Conv2D is a 2D convolution with square kernels, configurable stride and
+// zero padding, plus a per-output-channel bias.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	W, B                      *Param
+
+	x *Tensor // cached input
+}
+
+// NewConv2D constructs a convolution layer with He initialization.
+func NewConv2D(inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad}
+	c.W = newParam(outC * inC * k * k)
+	c.B = newParam(outC)
+	heInit(c.W.Data, inC*k*k, rng)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%d(%d->%d,s%d,p%d)", c.K, c.K, c.InC, c.OutC, c.Stride, c.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(ci, h, w int) (int, int, int) {
+	return c.OutC, (h+2*c.Pad-c.K)/c.Stride + 1, (w+2*c.Pad-c.K)/c.Stride + 1
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
+	if x.C != c.InC {
+		panic(fmt.Sprintf("cnn: %s got %d input channels", c.Name(), x.C))
+	}
+	if train {
+		c.x = x
+	}
+	_, oh, ow := c.OutShape(x.C, x.H, x.W)
+	out := NewTensor(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := c.B.Data[oc]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := bias
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					wBase := ((oc*c.InC + ic) * c.K) * c.K
+					for ky := 0; ky < c.K; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= x.H {
+							continue
+						}
+						rowX := (ic*x.H + iy) * x.W
+						rowW := wBase + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= x.W {
+								continue
+							}
+							sum += c.W.Data[rowW+kx] * x.Data[rowX+ix]
+						}
+					}
+				}
+				out.Data[(oc*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Tensor) *Tensor {
+	x := c.x
+	if x == nil {
+		panic("cnn: Conv2D.Backward before Forward(train=true)")
+	}
+	dx := NewTensor(x.C, x.H, x.W)
+	oh, ow := grad.H, grad.W
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grad.Data[(oc*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				c.B.Grad[oc] += g
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					wBase := ((oc*c.InC + ic) * c.K) * c.K
+					for ky := 0; ky < c.K; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= x.H {
+							continue
+						}
+						rowX := (ic*x.H + iy) * x.W
+						rowW := wBase + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= x.W {
+								continue
+							}
+							c.W.Grad[rowW+kx] += g * x.Data[rowX+ix]
+							dx.Data[rowX+ix] += g * c.W.Data[rowW+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(c, h, w int) (int, int, int) { return c, h, w }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
+	out := NewTensor(x.C, x.H, x.W)
+	if train {
+		r.mask = make([]bool, len(x.Data))
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			if train {
+				r.mask[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(grad.C, grad.H, grad.W)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		}
+	}
+	return dx
+}
+
+// MaxPool2 is a 2×2 max pooling with stride 2.
+type MaxPool2 struct {
+	argmax        []int
+	inC, inH, inW int
+}
+
+// Name implements Layer.
+func (m *MaxPool2) Name() string { return "maxpool2" }
+
+// Params implements Layer.
+func (m *MaxPool2) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (m *MaxPool2) OutShape(c, h, w int) (int, int, int) { return c, h / 2, w / 2 }
+
+// Forward implements Layer.
+func (m *MaxPool2) Forward(x *Tensor, train bool) *Tensor {
+	oc, oh, ow := m.OutShape(x.C, x.H, x.W)
+	out := NewTensor(oc, oh, ow)
+	if train {
+		m.argmax = make([]int, oc*oh*ow)
+		m.inC, m.inH, m.inW = x.C, x.H, x.W
+	}
+	for c := 0; c < oc; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(-3.4e38)
+				bestIdx := 0
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := (c*x.H+oy*2+dy)*x.W + ox*2 + dx
+						if v := x.Data[idx]; v > best {
+							best, bestIdx = v, idx
+						}
+					}
+				}
+				o := (c*oh+oy)*ow + ox
+				out.Data[o] = best
+				if train {
+					m.argmax[o] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(m.inC, m.inH, m.inW)
+	for o, idx := range m.argmax {
+		dx.Data[idx] += grad.Data[o]
+	}
+	return dx
+}
+
+// GlobalAvgPool averages each channel to a single value.
+type GlobalAvgPool struct {
+	inH, inW int
+}
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return "gap" }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (g *GlobalAvgPool) OutShape(c, h, w int) (int, int, int) { return c, 1, 1 }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *Tensor, train bool) *Tensor {
+	if train {
+		g.inH, g.inW = x.H, x.W
+	}
+	out := NewTensor(x.C, 1, 1)
+	n := float32(x.H * x.W)
+	for c := 0; c < x.C; c++ {
+		var s float32
+		for i := c * x.H * x.W; i < (c+1)*x.H*x.W; i++ {
+			s += x.Data[i]
+		}
+		out.Data[c] = s / n
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(grad.C, g.inH, g.inW)
+	n := float32(g.inH * g.inW)
+	for c := 0; c < grad.C; c++ {
+		gv := grad.Data[c] / n
+		for i := c * g.inH * g.inW; i < (c+1)*g.inH*g.inW; i++ {
+			dx.Data[i] = gv
+		}
+	}
+	return dx
+}
+
+// Dense is a fully connected layer over a flattened input.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	x       *Tensor
+}
+
+// NewDense constructs a fully connected layer.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, W: newParam(in * out), B: newParam(out)}
+	heInit(d.W.Data, in, rng)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(c, h, w int) (int, int, int) { return d.Out, 1, 1 }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
+	if len(x.Data) != d.In {
+		panic(fmt.Sprintf("cnn: %s got %d inputs", d.Name(), len(x.Data)))
+	}
+	if train {
+		d.x = x
+	}
+	out := NewTensor(d.Out, 1, 1)
+	for o := 0; o < d.Out; o++ {
+		s := d.B.Data[o]
+		row := o * d.In
+		for i, v := range x.Data {
+			s += d.W.Data[row+i] * v
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(d.x.C, d.x.H, d.x.W)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		if g == 0 {
+			continue
+		}
+		d.B.Grad[o] += g
+		row := o * d.In
+		for i, v := range d.x.Data {
+			d.W.Grad[row+i] += g * v
+			dx.Data[i] += g * d.W.Data[row+i]
+		}
+	}
+	return dx
+}
+
+// Residual is a ResNet basic block: conv-relu-conv plus a skip
+// connection (identity, or 1×1 stride-2 projection when downsampling),
+// followed by a ReLU.
+type Residual struct {
+	Conv1, Conv2 *Conv2D
+	Proj         *Conv2D // nil for identity skip
+	relu1, relu2 ReLU
+	skip         *Tensor
+	sumPre       *Tensor
+}
+
+// NewResidual constructs a basic block with inC->outC channels; when
+// stride is 2 (or channels change) a 1×1 projection is used on the skip.
+func NewResidual(inC, outC, stride int, rng *rand.Rand) *Residual {
+	r := &Residual{
+		Conv1: NewConv2D(inC, outC, 3, stride, 1, rng),
+		Conv2: NewConv2D(outC, outC, 3, 1, 1, rng),
+	}
+	if stride != 1 || inC != outC {
+		r.Proj = NewConv2D(inC, outC, 1, stride, 0, rng)
+	}
+	return r
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string {
+	return fmt.Sprintf("resblock(%d->%d,s%d)", r.Conv1.InC, r.Conv1.OutC, r.Conv1.Stride)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := append(r.Conv1.Params(), r.Conv2.Params()...)
+	if r.Proj != nil {
+		ps = append(ps, r.Proj.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (r *Residual) OutShape(c, h, w int) (int, int, int) {
+	c1, h1, w1 := r.Conv1.OutShape(c, h, w)
+	return r.Conv2.OutShape(c1, h1, w1)
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *Tensor, train bool) *Tensor {
+	main := r.Conv2.Forward(r.relu1.Forward(r.Conv1.Forward(x, train), train), train)
+	skip := x
+	if r.Proj != nil {
+		skip = r.Proj.Forward(x, train)
+	}
+	if !main.SameShape(skip) {
+		panic("cnn: residual shape mismatch")
+	}
+	sum := NewTensor(main.C, main.H, main.W)
+	for i := range sum.Data {
+		sum.Data[i] = main.Data[i] + skip.Data[i]
+	}
+	if train {
+		r.skip = skip
+		r.sumPre = sum
+	}
+	return r.relu2.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *Tensor) *Tensor {
+	gSum := r.relu2.Backward(grad)
+	gMain := r.Conv1.Backward(r.relu1.Backward(r.Conv2.Backward(gSum)))
+	if r.Proj != nil {
+		gSkip := r.Proj.Backward(gSum)
+		for i := range gMain.Data {
+			gMain.Data[i] += gSkip.Data[i]
+		}
+		return gMain
+	}
+	for i := range gMain.Data {
+		gMain.Data[i] += gSum.Data[i]
+	}
+	return gMain
+}

@@ -1,0 +1,273 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network is a sequential stack of layers trained with softmax
+// cross-entropy.
+type Network struct {
+	Layers []Layer
+	// InC, InH, InW is the expected input shape.
+	InC, InH, InW int
+}
+
+// NewNetwork validates that the layer stack is shape-consistent for the
+// given input and returns the network.
+func NewNetwork(inC, inH, inW int, layers ...Layer) (*Network, error) {
+	c, h, w := inC, inH, inW
+	for _, l := range layers {
+		c, h, w = l.OutShape(c, h, w)
+		if c <= 0 || h <= 0 || w <= 0 {
+			return nil, fmt.Errorf("cnn: layer %s collapses shape to %dx%dx%d", l.Name(), c, h, w)
+		}
+	}
+	return &Network{Layers: layers, InC: inC, InH: inH, InW: inW}, nil
+}
+
+// NumClasses returns the output width of the final layer.
+func (n *Network) NumClasses() int {
+	c, h, w := n.InC, n.InH, n.InW
+	for _, l := range n.Layers {
+		c, h, w = l.OutShape(c, h, w)
+	}
+	return c * h * w
+}
+
+// NumParams returns the total learnable parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			total += len(p.Data)
+		}
+	}
+	return total
+}
+
+// Forward runs the network and returns the raw logits.
+func (n *Network) Forward(x *Tensor, train bool) *Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Predict returns the argmax class and the softmax probabilities.
+func (n *Network) Predict(x *Tensor) (int, []float32) {
+	logits := n.Forward(x, false)
+	probs := Softmax(logits.Data)
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best, probs
+}
+
+// Softmax returns the normalized exponentials of v.
+func Softmax(v []float32) []float32 {
+	maxV := v[0]
+	for _, x := range v {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	out := make([]float32, len(v))
+	var sum float64
+	for i, x := range v {
+		e := math.Exp(float64(x - maxV))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}
+
+// LossAndGrad computes softmax cross-entropy loss for a label and the
+// gradient with respect to the logits.
+func LossAndGrad(logits *Tensor, label int) (float64, *Tensor) {
+	probs := Softmax(logits.Data)
+	loss := -math.Log(math.Max(float64(probs[label]), 1e-12))
+	grad := NewTensor(logits.C, logits.H, logits.W)
+	for i, p := range probs {
+		grad.Data[i] = p
+	}
+	grad.Data[label] -= 1
+	return loss, grad
+}
+
+// Backward propagates a logit gradient through the network, accumulating
+// parameter gradients.
+func (n *Network) Backward(grad *Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// SGDStep applies one momentum-SGD update: v = mu v - lr (g/batch + wd w);
+// w += v. Gradients are globally norm-clipped to maxGradNorm first, which
+// keeps small-dataset training stable when a batch produces an outlier
+// gradient.
+func (n *Network) SGDStep(lr, momentum, weightDecay float64, batch int) {
+	inv := float32(1 / float64(batch))
+	var norm2 float64
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			for _, g := range p.Grad {
+				gg := float64(g) * float64(inv)
+				norm2 += gg * gg
+			}
+		}
+	}
+	clip := float32(1)
+	if norm := math.Sqrt(norm2); norm > maxGradNorm {
+		clip = float32(maxGradNorm / norm)
+	}
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			for i := range p.Data {
+				g := p.Grad[i]*inv*clip + float32(weightDecay)*p.Data[i]
+				p.Vel[i] = float32(momentum)*p.Vel[i] - float32(lr)*g
+				p.Data[i] += p.Vel[i]
+			}
+		}
+	}
+}
+
+// maxGradNorm is the global gradient-norm clip applied by SGDStep.
+const maxGradNorm = 4.0
+
+// Sample is one labeled training example.
+type Sample struct {
+	X     *Tensor
+	Label int
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	Seed        int64
+	// LogEvery, when positive, invokes Log at that epoch interval.
+	Log func(epoch int, loss float64, acc float64)
+}
+
+// DefaultTrainConfig returns the settings used by the classifier training
+// harness.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 12, BatchSize: 16, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, Seed: 1}
+}
+
+// Fit trains the network on the samples and returns the final epoch's
+// mean loss and training accuracy.
+func (n *Network) Fit(samples []Sample, cfg TrainConfig) (loss, acc float64) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Step decay: halve the learning rate at 1/2 and 3/4 of training.
+		lr := cfg.LR
+		if epoch >= cfg.Epochs*3/4 {
+			lr = cfg.LR / 4
+		} else if epoch >= cfg.Epochs/2 {
+			lr = cfg.LR / 2
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sumLoss float64
+		correct := 0
+		n.ZeroGrad()
+		inBatch := 0
+		for _, si := range idx {
+			s := samples[si]
+			logits := n.Forward(s.X, true)
+			l, grad := LossAndGrad(logits, s.Label)
+			sumLoss += l
+			best := 0
+			for i := range logits.Data {
+				if logits.Data[i] > logits.Data[best] {
+					best = i
+				}
+			}
+			if best == s.Label {
+				correct++
+			}
+			n.Backward(grad)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				n.SGDStep(lr, cfg.Momentum, cfg.WeightDecay, inBatch)
+				n.ZeroGrad()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			n.SGDStep(lr, cfg.Momentum, cfg.WeightDecay, inBatch)
+			n.ZeroGrad()
+		}
+		loss = sumLoss / float64(len(samples))
+		acc = float64(correct) / float64(len(samples))
+		if cfg.Log != nil {
+			cfg.Log(epoch, loss, acc)
+		}
+	}
+	return loss, acc
+}
+
+// Evaluate returns the accuracy of the network on labeled samples.
+func (n *Network) Evaluate(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if pred, _ := n.Predict(s.X); pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// ResNetLite builds the residual classifier architecture used for all
+// three situation classifiers: a stem convolution, three basic blocks
+// with one downsampling stage, and a dense head over the flattened
+// feature map. The spatial head matters: road-layout classification
+// depends on WHERE the lane features sit in the frame (a left curve's
+// vanishing geometry), which global average pooling would erase.
+// Input is inC×inH×inW; the paper's ResNet-18 is the same family at depth
+// 18 — see DESIGN.md for the substitution rationale.
+func ResNetLite(inC, inH, inW, classes int, seed int64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	body := []Layer{
+		NewConv2D(inC, 8, 3, 1, 1, rng),
+		&ReLU{},
+		&MaxPool2{},
+		NewResidual(8, 8, 1, rng),
+		NewResidual(8, 16, 2, rng),
+		NewResidual(16, 16, 1, rng),
+	}
+	c, h, w := inC, inH, inW
+	for _, l := range body {
+		c, h, w = l.OutShape(c, h, w)
+	}
+	layers := append(body, NewDense(c*h*w, classes, rng))
+	return NewNetwork(inC, inH, inW, layers...)
+}

@@ -1,0 +1,104 @@
+package cnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot is the serialized form of a trained network: the architecture
+// identifier plus all parameter tensors in layer order.
+type Snapshot struct {
+	Arch          string // "resnetlite"
+	InC, InH, InW int
+	Classes       int
+	Weights       [][]float32
+}
+
+// Weights returns copies of all parameter tensors in layer order.
+func (n *Network) Weights() [][]float32 {
+	var out [][]float32
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			w := make([]float32, len(p.Data))
+			copy(w, p.Data)
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// SetWeights loads parameter tensors produced by Weights.
+func (n *Network) SetWeights(ws [][]float32) error {
+	i := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			if i >= len(ws) {
+				return fmt.Errorf("cnn: weight list too short at %d", i)
+			}
+			if len(ws[i]) != len(p.Data) {
+				return fmt.Errorf("cnn: weight %d has %d values, want %d", i, len(ws[i]), len(p.Data))
+			}
+			copy(p.Data, ws[i])
+			i++
+		}
+	}
+	if i != len(ws) {
+		return fmt.Errorf("cnn: %d extra weight tensors", len(ws)-i)
+	}
+	return nil
+}
+
+// Save serializes a ResNetLite network to w.
+func Save(w io.Writer, n *Network) error {
+	snap := Snapshot{
+		Arch: "resnetlite",
+		InC:  n.InC, InH: n.InH, InW: n.InW,
+		Classes: n.NumClasses(),
+		Weights: n.Weights(),
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load deserializes a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("cnn: decode snapshot: %w", err)
+	}
+	if snap.Arch != "resnetlite" {
+		return nil, fmt.Errorf("cnn: unknown architecture %q", snap.Arch)
+	}
+	n, err := ResNetLite(snap.InC, snap.InH, snap.InW, snap.Classes, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.SetWeights(snap.Weights); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// SaveFile writes the network to the named file.
+func SaveFile(path string, n *Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, n); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a network from the named file.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,293 @@
+// Package core implements the paper's primary contribution: the
+// hardware- and situation-aware design flow of Fig. 5.
+//
+//  1. Situation definition — the taxonomy lives in internal/world
+//     (Table I) and is open for extension (Sec. V).
+//  2. Hardware- and situation-aware characterization (Sec. III-B) —
+//     Characterize sweeps the configurable knobs per situation through
+//     closed-loop simulation and records the tuning with the best QoC,
+//     regenerating Table III for this substrate.
+//  3. Situation identification (Sec. III-C) — classifiers live in
+//     internal/classifier; this package only consumes their outputs.
+//  4. Dynamic runtime reconfiguration (Sec. III-D) — Reconfigurator
+//     turns classifier outputs into knob settings with the one-cycle ISP
+//     reconfiguration delay, for embedding into any control loop.
+//
+// VerifySwitchingStability implements the paper's stability argument: a
+// common quadratic Lyapunov function across every controller the runtime
+// can switch between.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hsas/internal/camera"
+	"hsas/internal/control"
+	"hsas/internal/knobs"
+	"hsas/internal/mat"
+	"hsas/internal/perception"
+	"hsas/internal/platform"
+	"hsas/internal/sim"
+	"hsas/internal/vehicle"
+	"hsas/internal/world"
+)
+
+// CharacterizeConfig parameterizes the design-time knob sweep.
+type CharacterizeConfig struct {
+	// Situations to characterize; defaults to world.PaperSituations.
+	Situations []world.Situation
+	// ISPCandidates to sweep; defaults to all of Table II (S0–S8).
+	ISPCandidates []string
+	// FullROISweep also sweeps all five ROIs instead of pruning to the
+	// layout-appropriate candidates, and both speeds instead of the
+	// layout rule. The pruned sweep mirrors the paper's Monte-Carlo
+	// screening, which found ROI and speed to track the road layout.
+	FullROISweep bool
+	// Camera resolution for the closed-loop runs; defaults to a reduced
+	// 256×128 (the sweep is hundreds of runs; Fig. 6/8 use full size).
+	Camera camera.Camera
+	Seed   int64
+	// Progress, when set, receives one line per completed run.
+	Progress func(string)
+}
+
+// Candidate is one evaluated knob setting for a situation.
+type Candidate struct {
+	Setting knobs.Setting
+	MAE     float64
+	Crashed bool
+	HMs     float64
+	TauMs   float64
+}
+
+// Entry is the characterization outcome for one situation: our
+// regenerated Table III row plus every candidate evaluated.
+type Entry struct {
+	Situation  world.Situation
+	Best       Candidate
+	Candidates []Candidate
+}
+
+// Result is the product of the characterization flow.
+type Result struct {
+	Entries []Entry
+}
+
+// Table returns the situation → best-setting lookup table used by the
+// runtime reconfiguration (our regenerated Table III).
+func (r *Result) Table() knobs.Table {
+	t := knobs.Table{}
+	for _, e := range r.Entries {
+		t[e.Situation] = e.Best.Setting
+	}
+	return t
+}
+
+// FormatTable renders the result in the shape of the paper's Table III.
+func (r *Result) FormatTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-38s %-5s %-5s %-18s %-8s\n", "Sit", "Situation Details", "ISP", "PR", "Tc [v, h, tau]", "MAE")
+	for i, e := range r.Entries {
+		crash := ""
+		if e.Best.Crashed {
+			crash = " CRASH"
+		}
+		fmt.Fprintf(&sb, "%-4d %-38s %-5s ROI %d [%g, %g, %.1f]      %.4f%s\n",
+			i+1, e.Situation.String(), e.Best.Setting.ISP, e.Best.Setting.ROI,
+			e.Best.Setting.SpeedKmph, e.Best.HMs, e.Best.TauMs, e.Best.MAE, crash)
+	}
+	return sb.String()
+}
+
+// Characterize runs the design-time sweep: for every situation, evaluate
+// the candidate knob settings in closed loop (with the full three-
+// classifier pipeline charged to the timing, as the runtime will pay it)
+// and keep the setting with the best QoC.
+func Characterize(cfg CharacterizeConfig) (*Result, error) {
+	if cfg.Situations == nil {
+		cfg.Situations = world.PaperSituations
+	}
+	if cfg.ISPCandidates == nil {
+		cfg.ISPCandidates = []string{"S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"}
+	}
+	if cfg.Camera.Width == 0 {
+		cfg.Camera = camera.Scaled(256, 128)
+	}
+	xavier := platform.Xavier()
+
+	res := &Result{}
+	for _, sit := range cfg.Situations {
+		track := world.SituationTrack(sit)
+		evalSector := world.SituationEvalSector(sit)
+
+		var cands []Candidate
+		for _, setting := range candidateSettings(sit, cfg) {
+			timing, err := xavier.TimingFor(setting.ISP, 3)
+			if err != nil {
+				return nil, err
+			}
+			setting := setting
+			run, err := sim.Run(sim.Config{
+				Track:            track,
+				Camera:           cfg.Camera,
+				Seed:             cfg.Seed,
+				FixedSetting:     &setting,
+				FixedClassifiers: 3,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: characterize %v with %v: %w", sit, setting, err)
+			}
+			c := Candidate{
+				Setting: setting,
+				MAE:     run.PerSector.Sector(evalSector),
+				Crashed: run.Crashed,
+				HMs:     timing.HMs,
+				TauMs:   timing.TauMs,
+			}
+			// A crashed run records the MAE up to the crash, which can
+			// be deceptively small; penalize it out of contention.
+			if run.Crashed || c.MAE == 0 {
+				c.MAE = run.MAE + 10
+				c.Crashed = true
+			}
+			cands = append(cands, c)
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("%v | %v -> MAE %.4f crashed=%v", sit, setting, c.MAE, c.Crashed))
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].MAE < cands[j].MAE })
+		res.Entries = append(res.Entries, Entry{Situation: sit, Best: cands[0], Candidates: cands})
+	}
+	return res, nil
+}
+
+// candidateSettings enumerates the knob space for one situation. The
+// pruned default follows the paper's screening: ROI and speed track the
+// road layout (Table III shows no exceptions), so only the ISP knob is
+// swept; FullROISweep widens to the full Table II space.
+func candidateSettings(sit world.Situation, cfg CharacterizeConfig) []knobs.Setting {
+	var out []knobs.Setting
+	if cfg.FullROISweep {
+		for _, ispID := range cfg.ISPCandidates {
+			for roi := 1; roi <= 5; roi++ {
+				for _, v := range knobs.Speeds {
+					out = append(out, knobs.Setting{ISP: ispID, ROI: roi, SpeedKmph: v})
+				}
+			}
+		}
+		return out
+	}
+	roi := knobs.RoadROI(sit.Layout, sit.Lane.Form == world.Dotted)
+	speed := knobs.SpeedFor(sit.Layout)
+	for _, ispID := range cfg.ISPCandidates {
+		out = append(out, knobs.Setting{ISP: ispID, ROI: roi, SpeedKmph: speed})
+	}
+	return out
+}
+
+// Reconfigurator implements the runtime reconfiguration of Sec. III-D for
+// embedding in any control loop: feed it classifier outputs as they are
+// produced and query the knobs to apply. PR and control knobs take effect
+// immediately; the ISP knob one cycle later.
+type Reconfigurator struct {
+	Case  knobs.Case
+	Table knobs.Table
+
+	road, lane, scene int
+	activeISP         string
+	initialized       bool
+}
+
+// NewReconfigurator starts from the given initial belief.
+func NewReconfigurator(c knobs.Case, table knobs.Table, initial world.Situation) *Reconfigurator {
+	r := &Reconfigurator{Case: c, Table: table}
+	r.road = int(initial.Layout)
+	if lc, ok := world.LaneClass(initial.Lane); ok {
+		r.lane = lc
+	}
+	r.scene = int(initial.Scene)
+	r.activeISP = r.target().ISP
+	r.initialized = true
+	return r
+}
+
+// Observe folds in the classifier outputs that ran this frame (negative
+// values mean "did not run").
+func (r *Reconfigurator) Observe(road, lane, scene int) {
+	if road >= 0 && road < world.NumRoadClasses {
+		r.road = road
+	}
+	if lane >= 0 && lane < world.NumLaneClasses {
+		r.lane = lane
+	}
+	if scene >= 0 && scene < world.NumSceneClasses {
+		r.scene = scene
+	}
+}
+
+// Believed returns the current believed situation.
+func (r *Reconfigurator) Believed() world.Situation {
+	return world.Situation{
+		Layout: world.RoadLayout(r.road),
+		Lane:   world.LaneMarkingForClass(r.lane),
+		Scene:  world.Scene(r.scene),
+	}
+}
+
+func (r *Reconfigurator) target() knobs.Setting {
+	return knobs.CaseSetting(r.Case, r.Believed(), r.Table)
+}
+
+// Step advances one sensing cycle and returns the knobs for this cycle:
+// the PR/control setting to use now, and the ISP configuration that was
+// active when the current frame was captured (the newly selected ISP only
+// applies from the next frame — the one-cycle delay of Sec. III-D).
+func (r *Reconfigurator) Step() (current knobs.Setting, activeISP string) {
+	t := r.target()
+	active := r.activeISP
+	r.activeISP = t.ISP
+	return t, active
+}
+
+// VerifySwitchingStability checks the paper's switching-stability
+// argument (Sec. III-D): every controller the runtime can select from the
+// table — all (speed, h, tau) combinations across situations and both the
+// full and variable invocation pipelines — must share a common quadratic
+// Lyapunov function.
+func VerifySwitchingStability(table knobs.Table, p vehicle.Params) error {
+	xavier := platform.Xavier()
+	type key struct {
+		v, h, tau float64
+	}
+	seen := map[key]bool{}
+	var loops []*control.Design
+	for _, setting := range table {
+		for _, nClassifiers := range []int{3, 1} {
+			timing, err := xavier.TimingFor(setting.ISP, nClassifiers)
+			if err != nil {
+				return err
+			}
+			tau := xavier.CeilToStep(timing.TauMs)
+			k := key{setting.SpeedKmph, timing.HMs, tau}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			d, err := control.NewDesign(p, setting.SpeedKmph, timing.HMs/1000, tau/1000, perception.LookAhead)
+			if err != nil {
+				return fmt.Errorf("core: design for %+v: %w", k, err)
+			}
+			loops = append(loops, d)
+		}
+	}
+	mats := make([]*mat.Mat, 0, len(loops))
+	for _, d := range loops {
+		mats = append(mats, d.ClosedLoop())
+	}
+	if _, err := control.FindCQLF(mats); err != nil {
+		return fmt.Errorf("core: switching stability not certified over %d designs: %w", len(mats), err)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hsas/internal/camera"
+	"hsas/internal/knobs"
+	"hsas/internal/sim"
+	"hsas/internal/world"
+)
+
+// This file implements the screening step of Sec. III-B: "we determine
+// the system parameters that are sensitive to the operating situation
+// using Monte-Carlo simulations of the entire system". Random knob
+// assignments are evaluated in closed loop; the per-knob spread of mean
+// QoC identifies the knobs worth characterizing (the paper found the ISP
+// approximation, the PR ROI and the vehicle speed).
+
+// SensitivityConfig parameterizes the Monte-Carlo screening.
+type SensitivityConfig struct {
+	Situation world.Situation
+	Samples   int // random knob assignments (default 24)
+	Camera    camera.Camera
+	Seed      int64
+	Progress  func(string)
+}
+
+// KnobSensitivity is the screening outcome for one knob dimension: the
+// spread between the best and worst mean QoC across the knob's values
+// (including crash penalties). Large spread = sensitive knob.
+type KnobSensitivity struct {
+	Knob   string
+	Spread float64
+	// MeanByValue maps each knob value to its mean penalized MAE.
+	MeanByValue map[string]float64
+}
+
+// SensitivityResult orders the knob dimensions by their QoC impact.
+type SensitivityResult struct {
+	Situation world.Situation
+	Knobs     []KnobSensitivity // sorted, most sensitive first
+	Samples   int
+}
+
+// Format renders the screening outcome.
+func (r *SensitivityResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Monte-Carlo knob screening for %v (%d samples)\n", r.Situation, r.Samples)
+	for _, k := range r.Knobs {
+		fmt.Fprintf(&sb, "  %-8s spread %.4f |", k.Knob, k.Spread)
+		keys := make([]string, 0, len(k.MeanByValue))
+		for v := range k.MeanByValue {
+			keys = append(keys, v)
+		}
+		sort.Strings(keys)
+		for _, v := range keys {
+			fmt.Fprintf(&sb, " %s:%.3f", v, k.MeanByValue[v])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// AnalyzeSensitivity runs the Monte-Carlo screening for one situation.
+func AnalyzeSensitivity(cfg SensitivityConfig) (*SensitivityResult, error) {
+	if cfg.Samples == 0 {
+		cfg.Samples = 24
+	}
+	if cfg.Camera.Width == 0 {
+		cfg.Camera = camera.Scaled(192, 96)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	track := world.SituationTrack(cfg.Situation)
+	evalSector := world.SituationEvalSector(cfg.Situation)
+	ispIDs := []string{"S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"}
+
+	type sample struct {
+		setting knobs.Setting
+		mae     float64
+	}
+	var samples []sample
+	for i := 0; i < cfg.Samples; i++ {
+		setting := knobs.Setting{
+			ISP:       ispIDs[rng.Intn(len(ispIDs))],
+			ROI:       1 + rng.Intn(5),
+			SpeedKmph: knobs.Speeds[rng.Intn(len(knobs.Speeds))],
+		}
+		run, err := sim.Run(sim.Config{
+			Track:            track,
+			Camera:           cfg.Camera,
+			Seed:             cfg.Seed + int64(i),
+			FixedSetting:     &setting,
+			FixedClassifiers: 3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mae := run.PerSector.Sector(evalSector)
+		if run.Crashed || mae == 0 {
+			mae = run.MAE + 10 // crash penalty, as in Characterize
+		}
+		samples = append(samples, sample{setting, mae})
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%v -> %.4f", setting, mae))
+		}
+	}
+
+	group := func(key func(knobs.Setting) string) KnobSensitivity {
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, s := range samples {
+			k := key(s.setting)
+			sums[k] += s.mae
+			counts[k]++
+		}
+		out := KnobSensitivity{MeanByValue: map[string]float64{}}
+		lo, hi := 0.0, 0.0
+		first := true
+		for k, sum := range sums {
+			m := sum / float64(counts[k])
+			out.MeanByValue[k] = m
+			if first {
+				lo, hi = m, m
+				first = false
+			} else {
+				if m < lo {
+					lo = m
+				}
+				if m > hi {
+					hi = m
+				}
+			}
+		}
+		out.Spread = hi - lo
+		return out
+	}
+
+	isp := group(func(s knobs.Setting) string { return s.ISP })
+	isp.Knob = "ISP"
+	roi := group(func(s knobs.Setting) string { return fmt.Sprintf("ROI%d", s.ROI) })
+	roi.Knob = "ROI"
+	speed := group(func(s knobs.Setting) string { return fmt.Sprintf("v%g", s.SpeedKmph) })
+	speed.Knob = "speed"
+
+	res := &SensitivityResult{Situation: cfg.Situation, Samples: cfg.Samples,
+		Knobs: []KnobSensitivity{isp, roi, speed}}
+	sort.SliceStable(res.Knobs, func(i, j int) bool { return res.Knobs[i].Spread > res.Knobs[j].Spread })
+	return res, nil
+}

@@ -1,0 +1,306 @@
+// Package isp implements the five-stage image signal processing pipeline
+// of the paper (Fig. 3a) — demosaic (DM), denoise (DN), color map (CM),
+// gamut map (GM), tone map (TM) — and the nine approximate pipeline
+// configurations S0–S8 of Table II obtained by skipping stages.
+//
+// Stage semantics mirror Buckler et al. (ICCV'17), the pipeline the paper
+// builds on: DM reconstructs RGB from the RGGB mosaic, DN removes sensor
+// noise, CM inverts the sensor's spectral crosstalk, GM compresses
+// out-of-gamut highlights, and TM applies the display transfer curve that
+// the downstream 8-bit perception stage assumes.
+package isp
+
+import (
+	"fmt"
+	"math"
+
+	"hsas/internal/camera"
+	"hsas/internal/raster"
+)
+
+// Stage identifies one ISP pipeline stage.
+type Stage uint8
+
+// Pipeline stages in canonical execution order.
+const (
+	Demosaic Stage = iota
+	Denoise
+	ColorMap
+	GamutMap
+	ToneMap
+)
+
+func (s Stage) String() string {
+	switch s {
+	case Demosaic:
+		return "DM"
+	case Denoise:
+		return "DN"
+	case ColorMap:
+		return "CM"
+	case GamutMap:
+		return "GM"
+	case ToneMap:
+		return "TM"
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// Config is one ISP knob setting: a subset of stages (Table II). Demosaic
+// is mandatory — RAW mosaics are unusable downstream otherwise — matching
+// every configuration in the paper.
+type Config struct {
+	ID     string
+	Stages []Stage
+}
+
+// Has reports whether the configuration includes the given stage.
+func (c Config) Has(s Stage) bool {
+	for _, st := range c.Stages {
+		if st == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) String() string {
+	out := c.ID + " : ("
+	for i, s := range c.Stages {
+		if i > 0 {
+			out += ", "
+		}
+		out += s.String()
+	}
+	return out + ")"
+}
+
+// Knobs lists the nine ISP configurations of Table II, indexed S0–S8.
+var Knobs = []Config{
+	{"S0", []Stage{Demosaic, Denoise, ColorMap, GamutMap, ToneMap}},
+	{"S1", []Stage{Demosaic, ColorMap, GamutMap, ToneMap}},
+	{"S2", []Stage{Demosaic, Denoise, GamutMap, ToneMap}},
+	{"S3", []Stage{Demosaic, Denoise, ColorMap, ToneMap}},
+	{"S4", []Stage{Demosaic, Denoise, ColorMap, GamutMap}},
+	{"S5", []Stage{Demosaic, Denoise}},
+	{"S6", []Stage{Demosaic, ColorMap}},
+	{"S7", []Stage{Demosaic, GamutMap}},
+	{"S8", []Stage{Demosaic, ToneMap}},
+}
+
+// ByID returns the configuration with the given ID (e.g. "S3").
+func ByID(id string) (Config, bool) {
+	for _, c := range Knobs {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// XavierRuntimeMs is the paper's profiled runtime of each configuration on
+// the NVIDIA AGX Xavier at 512×256 (Table II). These numbers seed the
+// platform timing model; the Go implementation's own runtimes are measured
+// by BenchmarkTable2ISPKnobs.
+var XavierRuntimeMs = map[string]float64{
+	"S0": 21.5, "S1": 18.9, "S2": 20.9, "S3": 3.3, "S4": 3.2,
+	"S5": 3.1, "S6": 3.2, "S7": 3.1, "S8": 3.2,
+}
+
+// Process runs the configured pipeline over a RAW mosaic. Stages execute
+// in canonical order regardless of their order in the Config.
+func (c Config) Process(raw *raster.Bayer) *raster.RGB {
+	img := DemosaicBilinear(raw)
+	if c.Has(Denoise) {
+		img = DenoiseBilateral(img)
+	}
+	if c.Has(ColorMap) {
+		ApplyColorMap(img)
+	}
+	if c.Has(GamutMap) {
+		ApplyGamutMap(img)
+	}
+	if c.Has(ToneMap) {
+		ApplyToneMap(img)
+	}
+	return img
+}
+
+// DemosaicBilinear reconstructs a full RGB image from an RGGB mosaic with
+// bilinear interpolation of the missing samples.
+func DemosaicBilinear(raw *raster.Bayer) *raster.RGB {
+	w, h := raw.W, raw.H
+	out := raster.NewRGB(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			switch raster.ColorAt(x, y) {
+			case raster.CFARed:
+				out.R[i] = raw.At(x, y)
+				out.G[i] = avg4(raw.At(x-1, y), raw.At(x+1, y), raw.At(x, y-1), raw.At(x, y+1))
+				out.B[i] = avg4(raw.At(x-1, y-1), raw.At(x+1, y-1), raw.At(x-1, y+1), raw.At(x+1, y+1))
+			case raster.CFABlue:
+				out.B[i] = raw.At(x, y)
+				out.G[i] = avg4(raw.At(x-1, y), raw.At(x+1, y), raw.At(x, y-1), raw.At(x, y+1))
+				out.R[i] = avg4(raw.At(x-1, y-1), raw.At(x+1, y-1), raw.At(x-1, y+1), raw.At(x+1, y+1))
+			default: // green: red/blue neighbors depend on the row parity
+				out.G[i] = raw.At(x, y)
+				if y%2 == 0 { // R G R G row: horizontal neighbors are red
+					out.R[i] = avg2(raw.At(x-1, y), raw.At(x+1, y))
+					out.B[i] = avg2(raw.At(x, y-1), raw.At(x, y+1))
+				} else { // G B G B row: horizontal neighbors are blue
+					out.B[i] = avg2(raw.At(x-1, y), raw.At(x+1, y))
+					out.R[i] = avg2(raw.At(x, y-1), raw.At(x, y+1))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func avg2(a, b float32) float32       { return (a + b) / 2 }
+func avg4(a, b, c, d float32) float32 { return (a + b + c + d) / 4 }
+
+// Bilateral denoise parameters: a 3×3 spatial kernel with a range kernel
+// wide enough to smooth sensor noise but narrow enough to preserve the
+// lane-marking edges the perception stage depends on.
+const (
+	denoiseRangeSigma = 0.08
+)
+
+// DenoiseBilateral applies an edge-preserving 3×3 bilateral filter per
+// channel and returns a new image.
+func DenoiseBilateral(img *raster.RGB) *raster.RGB {
+	w, h := img.W, img.H
+	out := raster.NewRGB(w, h)
+	spatial := [3]float32{0.60, 1.0, 0.60} // gaussian taps at |d| = 1, 0, 1
+	inv2s2 := float32(1 / (2 * denoiseRangeSigma * denoiseRangeSigma))
+	planes := [3][2][]float32{{img.R, out.R}, {img.G, out.G}, {img.B, out.B}}
+	for _, p := range planes {
+		src, dst := p[0], p[1]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				c := src[y*w+x]
+				var sum, wsum float32
+				for dy := -1; dy <= 1; dy++ {
+					yy := y + dy
+					if yy < 0 || yy >= h {
+						continue
+					}
+					for dx := -1; dx <= 1; dx++ {
+						xx := x + dx
+						if xx < 0 || xx >= w {
+							continue
+						}
+						v := src[yy*w+xx]
+						d := v - c
+						wt := spatial[dy+1] * spatial[dx+1] * expFast(-d*d*inv2s2)
+						sum += wt * v
+						wsum += wt
+					}
+				}
+				dst[y*w+x] = sum / wsum
+			}
+		}
+	}
+	return out
+}
+
+// expFast is a fast exponential approximation adequate for filter weights
+// (inputs in [-8, 0]): a 4th-order limit form, monotone and within ~1%.
+func expFast(x float32) float32 {
+	if x < -8 {
+		return 0
+	}
+	v := 1 + x/16
+	v *= v
+	v *= v
+	v *= v
+	v *= v
+	return v
+}
+
+// ColorMapMatrix is the color-correction matrix: the inverse of the
+// sensor crosstalk matrix, computed once at init.
+var ColorMapMatrix = invert3(camera.SensorMatrix)
+
+func invert3(m [3][3]float64) [3][3]float32 {
+	a, b, c := m[0][0], m[0][1], m[0][2]
+	d, e, f := m[1][0], m[1][1], m[1][2]
+	g, h, i := m[2][0], m[2][1], m[2][2]
+	det := a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
+	if math.Abs(det) < 1e-12 {
+		panic("isp: sensor matrix is singular")
+	}
+	inv := [3][3]float64{
+		{(e*i - f*h) / det, (c*h - b*i) / det, (b*f - c*e) / det},
+		{(f*g - d*i) / det, (a*i - c*g) / det, (c*d - a*f) / det},
+		{(d*h - e*g) / det, (b*g - a*h) / det, (a*e - b*d) / det},
+	}
+	var out [3][3]float32
+	for r := 0; r < 3; r++ {
+		for cc := 0; cc < 3; cc++ {
+			out[r][cc] = float32(inv[r][cc])
+		}
+	}
+	return out
+}
+
+// ApplyColorMap applies the color-correction matrix in place, restoring
+// scene colorimetry from the sensor's crosstalked channels.
+func ApplyColorMap(img *raster.RGB) {
+	m := &ColorMapMatrix
+	for i := range img.R {
+		r, g, b := img.R[i], img.G[i], img.B[i]
+		img.R[i] = m[0][0]*r + m[0][1]*g + m[0][2]*b
+		img.G[i] = m[1][0]*r + m[1][1]*g + m[1][2]*b
+		img.B[i] = m[2][0]*r + m[2][1]*g + m[2][2]*b
+	}
+}
+
+// Gamut-map knee: values above the knee are compressed smoothly toward 1,
+// negatives (possible after color correction) are clipped.
+const gamutKnee = 0.85
+
+// ApplyGamutMap compresses out-of-gamut values in place: a soft knee above
+// gamutKnee and a hard clip below zero.
+func ApplyGamutMap(img *raster.RGB) {
+	for _, ch := range [3][]float32{img.R, img.G, img.B} {
+		for i, v := range ch {
+			switch {
+			case v != v: // NaN from upstream arithmetic: map to black
+				ch[i] = 0
+			case v < 0:
+				ch[i] = 0
+			case v > gamutKnee:
+				// Smooth rational knee mapping [knee, inf) -> [knee, 1].
+				t := v - gamutKnee
+				out := gamutKnee + (1-gamutKnee)*t/(t+(1-gamutKnee))
+				if !(out <= 1) { // saturates Inf/Inf artifacts
+					out = 1
+				}
+				ch[i] = out
+			}
+		}
+	}
+}
+
+// ApplyToneMap applies the sRGB-like transfer curve (gamma 1/2.2 with a
+// linear toe) in place, lifting shadows before 8-bit quantization.
+func ApplyToneMap(img *raster.RGB) {
+	for _, ch := range [3][]float32{img.R, img.G, img.B} {
+		for i, v := range ch {
+			ch[i] = toneCurve(v)
+		}
+	}
+}
+
+func toneCurve(v float32) float32 {
+	if v <= 0 {
+		return 0
+	}
+	if v < 0.0031 {
+		return 12.92 * v
+	}
+	return float32(1.055*math.Pow(float64(v), 1/2.4) - 0.055)
+}

@@ -1,0 +1,92 @@
+package mat
+
+import "math"
+
+// EigSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues (ascending) and a
+// matrix whose columns are the corresponding orthonormal eigenvectors.
+// Only the symmetric part of a is used.
+func EigSym(a *Mat) (vals []float64, vecs *Mat) {
+	if a.Rows != a.Cols {
+		panic("mat: EigSym requires a square matrix")
+	}
+	n := a.Rows
+	s := symmetrize(a)
+	v := Identity(n)
+
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += s.At(i, j) * s.At(i, j)
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := s.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := s.At(p, p), s.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				// Apply the rotation G(p, q, theta) on both sides.
+				for k := 0; k < n; k++ {
+					skp, skq := s.At(k, p), s.At(k, q)
+					s.Set(k, p, c*skp-sn*skq)
+					s.Set(k, q, sn*skp+c*skq)
+				}
+				for k := 0; k < n; k++ {
+					spk, sqk := s.At(p, k), s.At(q, k)
+					s.Set(p, k, c*spk-sn*sqk)
+					s.Set(q, k, sn*spk+c*sqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-sn*vkq)
+					v.Set(k, q, sn*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort ascending.
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = s.At(i, i)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if vals[order[j]] < vals[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	sorted := make([]float64, n)
+	vsorted := New(n, n)
+	for c, idx := range order {
+		sorted[c] = vals[idx]
+		for r := 0; r < n; r++ {
+			vsorted.Set(r, c, v.At(r, idx))
+		}
+	}
+	return sorted, vsorted
+}
+
+// MaxEigSym returns the largest eigenvalue of a symmetric matrix and its
+// unit eigenvector.
+func MaxEigSym(a *Mat) (float64, *Mat) {
+	vals, vecs := EigSym(a)
+	n := a.Rows
+	vec := vecs.Slice(0, n, n-1, n)
+	return vals[n-1], vec
+}

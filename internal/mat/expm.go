@@ -1,0 +1,84 @@
+package mat
+
+import "math"
+
+// Expm computes the matrix exponential e^A using the scaling-and-squaring
+// method with a degree-6 Padé approximant. It is used by the control
+// package to discretize the continuous-time lateral dynamics exactly over
+// one sampling period.
+func Expm(a *Mat) *Mat {
+	if a.Rows != a.Cols {
+		panic("mat: Expm requires a square matrix")
+	}
+	n := a.Rows
+
+	// Scale A by a power of two so that ||A/2^s|| is small.
+	norm := a.Norm1()
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	x := Scale(1/math.Pow(2, float64(s)), a)
+
+	// Degree-6 Padé approximant of e^x.
+	c := [...]float64{1, 1.0 / 2, 5.0 / 44, 1.0 / 66, 1.0 / 792, 1.0 / 15840, 1.0 / 665280}
+	x2 := Mul(x, x)
+	// Even part E = c0 I + c2 X^2 + c4 X^4 + c6 X^6
+	even := Scale(c[0], Identity(n))
+	oddCoef := Scale(c[1], Identity(n))
+	pow := Identity(n)
+	for k := 1; k <= 3; k++ {
+		pow = Mul(pow, x2)
+		even = Add(even, Scale(c[2*k], pow))
+		if 2*k+1 < len(c) {
+			oddCoef = Add(oddCoef, Scale(c[2*k+1], pow))
+		}
+	}
+	odd := Mul(x, oddCoef)
+
+	num := Add(even, odd)
+	den := Sub(even, odd)
+	r, err := Solve(den, num)
+	if err != nil {
+		// e^A is always invertible for the denominators produced by a
+		// convergent Padé approximant; reaching here means extreme scaling.
+		// Fall back to a Taylor series, which is safe after scaling.
+		r = taylorExp(x)
+	}
+
+	// Undo the scaling by repeated squaring.
+	for i := 0; i < s; i++ {
+		r = Mul(r, r)
+	}
+	return r
+}
+
+func taylorExp(x *Mat) *Mat {
+	n := x.Rows
+	r := Identity(n)
+	term := Identity(n)
+	for k := 1; k <= 24; k++ {
+		term = Scale(1/float64(k), Mul(term, x))
+		r = Add(r, term)
+		if term.MaxAbs() < 1e-18 {
+			break
+		}
+	}
+	return r
+}
+
+// IntegralExpm computes Phi = e^(A*h) and Gamma = ∫_0^h e^(A*s) ds · B in
+// one call using the block-matrix trick:
+//
+//	exp([A B; 0 0] * h) = [Phi Gamma; 0 I]
+//
+// This is the standard zero-order-hold discretization used to build the
+// sampled-data model of the lateral dynamics.
+func IntegralExpm(a, b *Mat, h float64) (phi, gamma *Mat) {
+	n, m := a.Rows, b.Cols
+	blk := New(n+m, n+m)
+	blk.SetSub(0, 0, Scale(h, a))
+	blk.SetSub(0, n, Scale(h, b))
+	e := Expm(blk)
+	return e.Slice(0, n, 0, n), e.Slice(0, n, n, n+m)
+}

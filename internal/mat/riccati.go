@@ -1,0 +1,139 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// Dlyap solves the discrete Lyapunov equation
+//
+//	A' P A - P + Q = 0
+//
+// using the doubling (Smith) iteration. It converges when A is Schur
+// stable (spectral radius < 1); otherwise an error is returned.
+func Dlyap(a, q *Mat) (*Mat, error) {
+	if a.Rows != a.Cols || q.Rows != q.Cols || a.Rows != q.Rows {
+		return nil, errors.New("mat: Dlyap requires square A, Q of equal size")
+	}
+	p := q.Clone()
+	ak := a.Clone()
+	for iter := 0; iter < 128; iter++ {
+		// P <- P + Ak' P Ak ; Ak <- Ak^2
+		inc := Mul3(ak.T(), p, ak)
+		p = Add(p, inc)
+		if inc.MaxAbs() < 1e-14*(1+p.MaxAbs()) {
+			return symmetrize(p), nil
+		}
+		ak = Mul(ak, ak)
+		if ak.MaxAbs() > 1e30 {
+			return nil, errors.New("mat: Dlyap diverged (A not Schur stable)")
+		}
+	}
+	return nil, errors.New("mat: Dlyap did not converge")
+}
+
+// Dare solves the discrete-time algebraic Riccati equation
+//
+//	P = A' P A - A' P B (R + B' P B)^-1 B' P A + Q
+//
+// by fixed-point iteration from P = Q, which converges for stabilizable
+// (A, B) and detectable (Q^(1/2), A). It returns the stabilizing solution.
+func Dare(a, b, q, r *Mat) (*Mat, error) {
+	n := a.Rows
+	if a.Cols != n || b.Rows != n || q.Rows != n || q.Cols != n || r.Rows != b.Cols || r.Cols != b.Cols {
+		return nil, errors.New("mat: Dare dimension mismatch")
+	}
+	p := q.Clone()
+	for iter := 0; iter < 20000; iter++ {
+		bp := Mul(b.T(), p)            // m×n
+		s := Add(r, Mul(bp, b))        // R + B'PB
+		k, err := Solve(s, Mul(bp, a)) // (R+B'PB)^-1 B'PA
+		if err != nil {
+			return nil, err
+		}
+		next := symmetrize(Add(Sub(Mul3(a.T(), p, a), Mul(Mul3(a.T(), p, b), k)), q))
+		diff := Sub(next, p).MaxAbs()
+		p = next
+		if diff < 1e-12*(1+p.MaxAbs()) {
+			return p, nil
+		}
+	}
+	return nil, errors.New("mat: Dare did not converge")
+}
+
+// LQRGain returns the optimal discrete LQR state-feedback gain
+// K = (R + B' P B)^-1 B' P A, where P solves the DARE, so that
+// u[k] = -K x[k] minimizes sum(x'Qx + u'Ru).
+func LQRGain(a, b, q, r *Mat) (*Mat, error) {
+	p, err := Dare(a, b, q, r)
+	if err != nil {
+		return nil, err
+	}
+	bp := Mul(b.T(), p)
+	s := Add(r, Mul(bp, b))
+	return Solve(s, Mul(bp, a))
+}
+
+// SpectralRadius estimates the spectral radius of a square matrix via the
+// Gelfand formula rho(A) = lim ||A^k||^(1/k), using repeated squaring with
+// normalization. Accurate to a few percent, which is sufficient for the
+// stability checks in the control package (stable vs unstable dichotomy).
+func SpectralRadius(a *Mat) float64 {
+	if a.Rows != a.Cols {
+		panic("mat: SpectralRadius requires a square matrix")
+	}
+	m := a.Clone()
+	logScale := 0.0 // log of the factor divided out of A^(2^i) so far
+	const iters = 40
+	for i := 0; i < iters; i++ {
+		norm := m.FrobNorm()
+		if norm == 0 {
+			return 0
+		}
+		m = Scale(1/norm, m)
+		// m_{i+1} = (m_i/n_i)^2 = A^(2^(i+1)) / (s_i n_i)^2
+		logScale = 2 * (logScale + math.Log(norm))
+		m = Mul(m, m)
+	}
+	total := logScale + math.Log(m.FrobNorm())
+	return math.Exp(total / math.Pow(2, iters))
+}
+
+func symmetrize(p *Mat) *Mat {
+	out := New(p.Rows, p.Cols)
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			out.Set(i, j, 0.5*(p.At(i, j)+p.At(j, i)))
+		}
+	}
+	return out
+}
+
+// IsPositiveDefinite reports whether the symmetric matrix p is positive
+// definite, using an in-place Cholesky attempt.
+func IsPositiveDefinite(p *Mat) bool {
+	if p.Rows != p.Cols {
+		return false
+	}
+	n := p.Rows
+	l := p.Clone()
+	for j := 0; j < n; j++ {
+		d := l.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return false
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return true
+}

@@ -1,0 +1,469 @@
+package perception
+
+import (
+	"math"
+
+	"hsas/internal/mat"
+	"hsas/internal/raster"
+	"hsas/internal/world"
+)
+
+// Detector is the sliding-window lane detector. It is resolution
+// independent: the bird's-eye view (BEV) is sampled directly from the
+// ground-plane mapping, so the same ROIs work for full-size and test-size
+// frames.
+type Detector struct {
+	Geo Geometry
+
+	// BEV raster dimensions. Rows run far (0) to near (BevH-1). BevW is
+	// the width for a nominal ROI; wide turn ROIs get proportionally more
+	// columns (constant ColsPerMeter) so the 0.15 m painted stripe always
+	// spans ~2 columns regardless of the ROI's lateral extent.
+	BevW, BevH   int
+	ColsPerMeter float64
+	// Sliding-window parameters.
+	NumWindows int
+	MarginCols int
+	MinPixWin  int
+	MinPixLane int
+	// Quantize emulates the 8-bit image buffer the PR stage consumes on
+	// the target platform; disable only for diagnostics.
+	Quantize bool
+}
+
+// NewDetector returns a detector with the defaults used by all paper
+// experiments.
+func NewDetector(geo Geometry) *Detector {
+	return &Detector{
+		Geo:          geo,
+		BevW:         96,
+		BevH:         160,
+		ColsPerMeter: 13,
+		NumWindows:   9,
+		MarginCols:   10,
+		MinPixWin:    8,
+		MinPixLane:   30,
+		Quantize:     true,
+	}
+}
+
+// Result is the outcome of one perception invocation.
+type Result struct {
+	// YL is the lateral position of the lane center at the look-ahead
+	// distance in the vehicle frame (positive left). It is the measured
+	// lateral deviation fed to the controller; zero means centered.
+	YL float64
+	// OK is false when no lane marking could be tracked in the ROI.
+	OK bool
+	// LeftFound / RightFound report which markings were tracked.
+	LeftFound, RightFound bool
+	// CandidatePixels counts binarized lane pixels inside the windows.
+	CandidatePixels int
+	// Curvature is the estimated road curvature (1/m, positive left)
+	// from the second-order lane fit, used for steering feedforward.
+	Curvature float64
+}
+
+// Detect runs the full PR stage on an ISP-processed RGB frame.
+func (d *Detector) Detect(img *raster.RGB, roi ROI, lookAhead float64) Result {
+	work := *d
+	work.BevW = d.bevWidth(roi)
+	score := work.scoreBEV(img, roi)
+	binary, any := binarize(score)
+	if !any {
+		return Result{}
+	}
+	return work.slidingWindows(binary, roi, lookAhead)
+}
+
+// bevWidth sizes the BEV raster for the ROI's mean lateral extent.
+func (d *Detector) bevWidth(roi ROI) int {
+	if d.ColsPerMeter <= 0 {
+		return d.BevW
+	}
+	nl, nr := roi.LatAt(roi.NearDist)
+	fl, fr := roi.LatAt(roi.FarDist)
+	mean := ((nl - nr) + (fl - fr)) / 2
+	w := int(mean * d.ColsPerMeter)
+	if w < d.BevW {
+		w = d.BevW
+	}
+	if w > 220 {
+		w = 220
+	}
+	return w
+}
+
+// scoreBEV samples the bird's-eye view of the ROI and computes the
+// lane-pixel score: luminance for white paint plus an R-B chroma term for
+// yellow paint.
+func (d *Detector) scoreBEV(img *raster.RGB, roi ROI) *raster.Gray {
+	w, h := d.BevW, d.BevH
+	out := raster.NewGray(w, h)
+	rPlane := &raster.Gray{W: img.W, H: img.H, Pix: img.R}
+	gPlane := &raster.Gray{W: img.W, H: img.H, Pix: img.G}
+	bPlane := &raster.Gray{W: img.W, H: img.H, Pix: img.B}
+	for row := 0; row < h; row++ {
+		dist := d.rowToDist(roi, row)
+		left, right := roi.LatAt(dist)
+		for col := 0; col < w; col++ {
+			lat := left + (right-left)*float64(col)/float64(w-1)
+			u, v, ok := d.Geo.GroundToImage(dist, lat)
+			if !ok || u < 0 || v < 0 || u > float64(img.W-1) || v > float64(img.H-1) {
+				continue
+			}
+			r := qz(rPlane.Sample(u, v), d.Quantize)
+			g := qz(gPlane.Sample(u, v), d.Quantize)
+			b := qz(bPlane.Sample(u, v), d.Quantize)
+			luma := 0.2126*r + 0.7152*g + 0.0722*b
+			chroma := r - b
+			if chroma < 0 {
+				chroma = 0
+			}
+			out.Set(col, row, luma+0.9*chroma)
+		}
+	}
+	return out
+}
+
+// qz quantizes a sample to 8 bits, emulating the PR input buffer.
+func qz(v float32, on bool) float32 {
+	if !on {
+		return v
+	}
+	v = raster.Clamp01(v)
+	return float32(math.Round(float64(v)*255)) / 255
+}
+
+// rowToDist maps a BEV row to a forward distance (row 0 = far edge).
+func (d *Detector) rowToDist(roi ROI, row int) float64 {
+	t := float64(row) / float64(d.BevH-1)
+	return roi.FarDist - t*(roi.FarDist-roi.NearDist)
+}
+
+// distToRow inverts rowToDist, clamped to the raster.
+func (d *Detector) distToRow(roi ROI, dist float64) int {
+	t := (roi.FarDist - dist) / (roi.FarDist - roi.NearDist)
+	row := int(math.Round(t * float64(d.BevH-1)))
+	if row < 0 {
+		row = 0
+	}
+	if row >= d.BevH {
+		row = d.BevH - 1
+	}
+	return row
+}
+
+// colToLat maps a BEV column to a lateral offset at the given row.
+func (d *Detector) colToLat(roi ROI, row, col float64) float64 {
+	dist := d.rowToDist(roi, int(math.Round(row)))
+	left, right := roi.LatAt(dist)
+	return left + (right-left)*col/float64(d.BevW-1)
+}
+
+// latToCol maps a lateral offset at the given row to a BEV column.
+func (d *Detector) latToCol(roi ROI, row int, lat float64) float64 {
+	dist := d.rowToDist(roi, row)
+	left, right := roi.LatAt(dist)
+	return (lat - left) / (right - left) * float64(d.BevW-1)
+}
+
+// Dynamic threshold parameters (paper: "binarization using dynamic
+// thresholding"): paint must beat the local statistics by kSigma standard
+// deviations and clear an absolute floor that rejects pure sensor noise.
+const (
+	threshKSigma = 2.2
+	threshFloor  = 0.035
+)
+
+// stripeTau is the lane-marking filter's lateral sampling distance in BEV
+// columns — slightly wider than the painted stripe (2–3 columns).
+const stripeTau = 3
+
+// binarize converts a score map into a boolean lane-pixel mask. The score
+// is first top-hat normalized (each pixel minus the local horizontal
+// mean), removing smooth illumination gradients — the headlight hot spot
+// at night, street-light pools — while preserving the narrow bright
+// stripes of painted markings. The result is thresholded against the
+// normalized map's own statistics (the paper's "dynamic thresholding").
+// any is false when the mask is empty.
+func binarize(score *raster.Gray) (mask []bool, any bool) {
+	w, h := score.W, score.H
+
+	// Vertical smoothing first: markings are vertically extended stripes
+	// in the bird's-eye view, so averaging a few rows is a matched filter
+	// that suppresses single-pixel texture speckle without blurring the
+	// stripe laterally.
+	smooth := make([]float32, len(score.Pix))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s, wsum float32
+			for dy := -2; dy <= 2; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= h {
+					continue
+				}
+				wt := float32(3 - abs(dy))
+				s += wt * score.Pix[yy*w+x]
+				wsum += wt
+			}
+			smooth[y*w+x] = s / wsum
+		}
+	}
+
+	// Lane-marking filter (Nieto et al.): a pixel responds only when it is
+	// brighter than BOTH lateral neighbors at stripe distance, so painted
+	// stripes fire while one-sided brightness steps — shoulder edges, the
+	// rim of the headlight pool — cancel to ~zero:
+	//   r(x) = 2 v(x) - v(x-tau) - v(x+tau) - |v(x-tau) - v(x+tau)|
+	norm := make([]float64, len(score.Pix))
+	for y := 0; y < h; y++ {
+		row := smooth[y*w : (y+1)*w]
+		for x := stripeTau; x < w-stripeTau; x++ {
+			l := float64(row[x-stripeTau])
+			r := float64(row[x+stripeTau])
+			resp := 2*float64(row[x]) - l - r - math.Abs(l-r)
+			if resp > 0 {
+				norm[y*w+x] = resp
+			}
+		}
+	}
+	var sum, sum2 float64
+	n := float64(len(norm))
+	for _, v := range norm {
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std := math.Sqrt(variance)
+	th := mean + threshKSigma*std
+	if th < threshFloor {
+		th = threshFloor
+	}
+	mask = make([]bool, len(norm))
+	for i, v := range norm {
+		if v > th {
+			mask[i] = true
+		}
+	}
+
+	// Stripe-width filter: painted markings are 2–3 BEV columns wide,
+	// while brightness steps (shoulder edges, the rim of the headlight
+	// pool) survive the top-hat as bands about as wide as its window.
+	// Clearing over-wide horizontal runs rejects those edges.
+	any = false
+	for y := 0; y < h; y++ {
+		runStart := -1
+		for x := 0; x <= w; x++ {
+			on := x < w && mask[y*w+x]
+			if on && runStart < 0 {
+				runStart = x
+			}
+			if !on && runStart >= 0 {
+				if x-runStart > maxStripeCols {
+					for k := runStart; k < x; k++ {
+						mask[y*w+k] = false
+					}
+				} else {
+					any = true
+				}
+				runStart = -1
+			}
+		}
+	}
+	return mask, any
+}
+
+// maxStripeCols is the widest horizontal run accepted as painted marking.
+const maxStripeCols = 5
+
+// slidingWindows performs the bottom-to-top candidate search and curve
+// fit of Fig. 3b on the binarized BEV.
+func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Result {
+	w, h := d.BevW, d.BevH
+
+	// Histogram of the bottom half, split at the vehicle-axis column;
+	// dotted markings can have their near dash in a gap, so each side
+	// falls back to a full-height histogram when its peak is missing.
+	axisCol := d.latToCol(roi, h-1, 0)
+	peaks := func(top int) (lb, lp, rb, rp int) {
+		hist := make([]int, w)
+		for y := top; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if mask[y*w+x] {
+					hist[x]++
+				}
+			}
+		}
+		lb, rb = -1, -1
+		for x, c := range hist {
+			if float64(x) < axisCol {
+				if c > lp {
+					lp, lb = c, x
+				}
+			} else if c > rp {
+				rp, rb = c, x
+			}
+		}
+		return lb, lp, rb, rp
+	}
+	leftBase, leftPeak, rightBase, rightPeak := peaks(h / 2)
+	if leftBase < 0 || rightBase < 0 || leftPeak < d.MinPixWin || rightPeak < d.MinPixWin {
+		flb, flp, frb, frp := peaks(0)
+		if leftPeak < d.MinPixWin && flp > leftPeak {
+			leftBase, leftPeak = flb, flp
+		}
+		if rightPeak < d.MinPixWin && frp > rightPeak {
+			rightBase, rightPeak = frb, frp
+		}
+	}
+	_ = leftPeak
+	_ = rightPeak
+
+	res := Result{}
+	leftXs, leftYs := d.trackLane(mask, leftBase)
+	rightXs, rightYs := d.trackLane(mask, rightBase)
+	res.CandidatePixels = len(leftXs) + len(rightXs)
+
+	// Convert candidate pixels to ground coordinates and fold both
+	// markings into one lane-center point set: each left-marking pixel
+	// votes for a center half a lane to its right and vice versa. With
+	// dotted markings whose dashes are phase-offset across the lane, the
+	// two sides interleave along the distance axis, so the center fit is
+	// supported over the whole ROI even when one side's near dash is in a
+	// gap — the failure mode a single-sided fit extrapolates through.
+	half := world.StandardLaneWidth / 2
+	toGround := func(xs, ys []float64, offset float64) (ds, lats []float64, meanLat float64) {
+		for i := range xs {
+			dist := d.rowToDist(roi, int(ys[i]))
+			lat := d.colToLat(roi, ys[i], xs[i])
+			ds = append(ds, dist)
+			lats = append(lats, lat+offset)
+			meanLat += lat
+		}
+		if len(xs) > 0 {
+			meanLat /= float64(len(xs))
+		}
+		return ds, lats, meanLat
+	}
+	leftDs, leftCs, leftMean := toGround(leftXs, leftYs, -half)
+	rightDs, rightCs, rightMean := toGround(rightXs, rightYs, +half)
+
+	res.LeftFound = len(leftDs) >= d.MinPixLane
+	res.RightFound = len(rightDs) >= d.MinPixLane
+
+	// Guard against both windows latching onto the same marking: if the
+	// two pixel sets overlap laterally, keep only the better-supported one.
+	if res.LeftFound && res.RightFound && math.Abs(leftMean-rightMean) < 1.0 {
+		if len(leftDs) >= len(rightDs) {
+			res.RightFound = false
+		} else {
+			res.LeftFound = false
+		}
+	}
+
+	var ds, cs []float64
+	if res.LeftFound {
+		ds = append(ds, leftDs...)
+		cs = append(cs, leftCs...)
+	}
+	if res.RightFound {
+		ds = append(ds, rightDs...)
+		cs = append(cs, rightCs...)
+	}
+	if len(ds) < d.MinPixLane {
+		return res
+	}
+
+	// Lane-center fit in ground coordinates, with the polynomial order
+	// adapted to the pixel support: the second-order fit of Fig. 3b needs
+	// samples spanning the look-ahead point; when a dotted marking leaves
+	// only a far dash cluster, quadratic extrapolation down to LL swings
+	// wildly, so the fit degrades gracefully to a line.
+	minD, maxD := ds[0], ds[0]
+	for _, dd := range ds {
+		if dd < minD {
+			minD = dd
+		}
+		if dd > maxD {
+			maxD = dd
+		}
+	}
+	degree := 2
+	if maxD-minD < 6 || minD > lookAhead+2.5 {
+		degree = 1
+	}
+	coeffs, err := mat.PolyFit(ds, cs, degree)
+	if err != nil {
+		return res
+	}
+	res.YL = mat.PolyEval(coeffs, lookAhead)
+	if degree == 2 {
+		res.Curvature = 2 * coeffs[2]
+	}
+	// Plausibility: a lane center beyond the paved corridor is clutter.
+	if math.Abs(res.YL) > 3.5 {
+		return Result{CandidatePixels: res.CandidatePixels}
+	}
+	res.OK = true
+	return res
+}
+
+// trackLane slides windows from the bottom to the top of the mask,
+// re-centering on the mean column of the pixels found, and returns the
+// candidate pixel coordinates (cols, rows).
+func (d *Detector) trackLane(mask []bool, base int) (xs, ys []float64) {
+	if base < 0 {
+		return nil, nil
+	}
+	w, h := d.BevW, d.BevH
+	winH := h / d.NumWindows
+	if winH < 1 {
+		winH = 1
+	}
+	center := base
+	for win := 0; win < d.NumWindows; win++ {
+		yHi := h - win*winH
+		yLo := yHi - winH
+		if yLo < 0 {
+			yLo = 0
+		}
+		xLo, xHi := center-d.MarginCols, center+d.MarginCols
+		if xLo < 0 {
+			xLo = 0
+		}
+		if xHi >= w {
+			xHi = w - 1
+		}
+		var sumX, cnt int
+		for y := yLo; y < yHi; y++ {
+			for x := xLo; x <= xHi; x++ {
+				if mask[y*w+x] {
+					xs = append(xs, float64(x))
+					ys = append(ys, float64(y))
+					sumX += x
+					cnt++
+				}
+			}
+		}
+		if cnt >= d.MinPixWin {
+			center = sumX / cnt
+		}
+	}
+	return xs, ys
+}
+
+// XavierRuntimeMs is the paper's profiled PR runtime on the NVIDIA AGX
+// Xavier (Table II).
+const XavierRuntimeMs = 3.0
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,80 @@
+// Package perception implements the paper's PR stage (Fig. 3b): region of
+// interest selection, perspective (bird's-eye) transform, binarization
+// with dynamic thresholding, sliding-window candidate search and
+// second-order polynomial curve fitting, producing the lateral deviation
+// yL of the vehicle from the lane center at the look-ahead distance.
+package perception
+
+import (
+	"math"
+
+	"hsas/internal/camera"
+)
+
+// LookAhead is the controller design look-ahead distance LL (Sec. II).
+const LookAhead = 5.5 // meters
+
+// Geometry is the calibrated flat-ground camera model used for the
+// inverse-perspective mapping: it converts ground-plane points in the
+// vehicle frame (forward distance, lateral offset, positive left) to
+// image coordinates.
+type Geometry struct {
+	fx, cx, cy float64
+	height     float64
+	sinP, cosP float64
+	w, h       int
+}
+
+// NewGeometry builds the ground-image mapping from camera intrinsics.
+func NewGeometry(cam camera.Camera) Geometry {
+	fx := float64(cam.Width) / 2 / math.Tan(cam.FOVDeg*math.Pi/360)
+	p := cam.PitchDeg * math.Pi / 180
+	return Geometry{
+		fx:     fx,
+		cx:     float64(cam.Width)/2 - 0.5,
+		cy:     float64(cam.Height)/2 - 0.5,
+		height: cam.MountHeight,
+		sinP:   math.Sin(p),
+		cosP:   math.Cos(p),
+		w:      cam.Width,
+		h:      cam.Height,
+	}
+}
+
+// GroundToImage projects the ground point at forward distance dist and
+// lateral offset lat (positive left) into image coordinates. ok is false
+// when the point is behind the camera or above the horizon.
+func (g Geometry) GroundToImage(dist, lat float64) (u, v float64, ok bool) {
+	// Camera frame: x right, y down, z forward (pitched down).
+	xc := -lat
+	yc := -dist*g.sinP + g.height*g.cosP
+	zc := dist*g.cosP + g.height*g.sinP
+	if zc < 0.1 {
+		return 0, 0, false
+	}
+	u = g.cx + g.fx*xc/zc
+	v = g.cy + g.fx*yc/zc
+	return u, v, true
+}
+
+// ImageToGround inverts GroundToImage for pixels below the horizon.
+func (g Geometry) ImageToGround(u, v float64) (dist, lat float64, ok bool) {
+	// Ray in camera frame, then into the vehicle frame (x forward, y left,
+	// z up) using the same basis as the renderer at psi=0:
+	// fwd=(cosP, 0, -sinP), right=(0, -1, 0), down=(-sinP, 0, -cosP).
+	xc := (u - g.cx) / g.fx
+	yc := (v - g.cy) / g.fx
+	dx := yc*(-g.sinP) + g.cosP
+	dy := -xc
+	dz := yc*(-g.cosP) - g.sinP
+	if dz >= -1e-9 {
+		return 0, 0, false
+	}
+	t := g.height / -dz
+	dist = t * dx
+	lat = t * dy
+	if dist <= 0 {
+		return 0, 0, false
+	}
+	return dist, lat, true
+}

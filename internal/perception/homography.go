@@ -1,0 +1,75 @@
+package perception
+
+import (
+	"errors"
+
+	"hsas/internal/mat"
+)
+
+// Homography is a 3×3 projective transform between planes.
+type Homography [9]float64
+
+// EstimateHomography computes the homography mapping each src[i] to
+// dst[i] from exactly four point correspondences (the classical 4-point
+// DLT used by the paper's perspective transform: the ROI trapezoid corners
+// map to the bird's-eye rectangle corners).
+func EstimateHomography(src, dst [4][2]float64) (Homography, error) {
+	// Unknowns h0..h7 with h8 = 1: for each correspondence,
+	//   u' = (h0 u + h1 v + h2) / (h6 u + h7 v + 1)
+	//   v' = (h3 u + h4 v + h5) / (h6 u + h7 v + 1)
+	a := mat.New(8, 8)
+	b := mat.New(8, 1)
+	for i := 0; i < 4; i++ {
+		u, v := src[i][0], src[i][1]
+		up, vp := dst[i][0], dst[i][1]
+		r := 2 * i
+		a.Set(r, 0, u)
+		a.Set(r, 1, v)
+		a.Set(r, 2, 1)
+		a.Set(r, 6, -u*up)
+		a.Set(r, 7, -v*up)
+		b.Set(r, 0, up)
+		a.Set(r+1, 3, u)
+		a.Set(r+1, 4, v)
+		a.Set(r+1, 5, 1)
+		a.Set(r+1, 6, -u*vp)
+		a.Set(r+1, 7, -v*vp)
+		b.Set(r+1, 0, vp)
+	}
+	x, err := mat.Solve(a, b)
+	if err != nil {
+		return Homography{}, errors.New("perception: degenerate correspondences for homography")
+	}
+	var h Homography
+	for i := 0; i < 8; i++ {
+		h[i] = x.At(i, 0)
+	}
+	h[8] = 1
+	return h, nil
+}
+
+// Apply maps a point through the homography.
+func (h Homography) Apply(u, v float64) (float64, float64) {
+	w := h[6]*u + h[7]*v + h[8]
+	return (h[0]*u + h[1]*v + h[2]) / w, (h[3]*u + h[4]*v + h[5]) / w
+}
+
+// Invert returns the inverse homography.
+func (h Homography) Invert() (Homography, error) {
+	m := mat.FromRows([][]float64{
+		{h[0], h[1], h[2]},
+		{h[3], h[4], h[5]},
+		{h[6], h[7], h[8]},
+	})
+	inv, err := mat.Inverse(m)
+	if err != nil {
+		return Homography{}, err
+	}
+	var out Homography
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out[i*3+j] = inv.At(i, j)
+		}
+	}
+	return out, nil
+}

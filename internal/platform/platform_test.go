@@ -1,0 +1,195 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestXavierSpec(t *testing.T) {
+	p := Xavier()
+	if p.CPUCores != 8 || p.GPUCores != 512 || p.DRAMGiB != 16 || p.PowerBudgetW != 30 {
+		t.Fatalf("Xavier spec wrong: %+v", p)
+	}
+}
+
+// TestCase1Timing reproduces Table V row 1: S0 + no classifiers gives
+// tau ~ 24.6 ms and h = 25 ms.
+func TestCase1Timing(t *testing.T) {
+	p := Xavier()
+	tm, err := p.TimingFor("S0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm.TauMs-24.6025) > 0.01 {
+		t.Fatalf("case 1 tau = %v, want ~24.6", tm.TauMs)
+	}
+	if tm.HMs != 25 {
+		t.Fatalf("case 1 h = %v, want 25", tm.HMs)
+	}
+	if math.Abs(tm.FPS-40.6) > 1 {
+		t.Fatalf("case 1 FPS = %v, want ~40", tm.FPS)
+	}
+}
+
+// TestCase2And3Timing reproduces Table V rows 2-3: adding classifiers
+// adds 5.5 ms each and pushes h to 35 and 40 ms.
+func TestCase2And3Timing(t *testing.T) {
+	p := Xavier()
+	tm2, _ := p.TimingFor("S0", 1)
+	if math.Abs(tm2.TauMs-30.1025) > 0.01 || tm2.HMs != 35 {
+		t.Fatalf("case 2 timing = %+v, want tau ~30.1 h 35", tm2)
+	}
+	tm3, _ := p.TimingFor("S0", 2)
+	if math.Abs(tm3.TauMs-35.6025) > 0.01 || tm3.HMs != 40 {
+		t.Fatalf("case 3 timing = %+v, want tau ~35.6 h 40", tm3)
+	}
+}
+
+// TestCase4Timing: approximate ISP (S3) with all three classifiers gives
+// tau ~ 22.9 and h = 25 (Table III reports 23.1 for profiling noise).
+func TestCase4Timing(t *testing.T) {
+	p := Xavier()
+	tm, _ := p.TimingFor("S3", 3)
+	if math.Abs(tm.TauMs-22.9025) > 0.01 || tm.HMs != 25 {
+		t.Fatalf("case 4 timing = %+v, want tau ~22.9 h 25", tm)
+	}
+}
+
+// TestVariableInvocationTiming: one classifier per frame with an
+// approximate ISP runs at h = 15 ms — the mechanism behind the 32 %
+// improvement of Sec. IV-E.
+func TestVariableInvocationTiming(t *testing.T) {
+	p := Xavier()
+	tm, _ := p.TimingFor("S3", 1)
+	if math.Abs(tm.TauMs-11.9025) > 0.01 || tm.HMs != 15 {
+		t.Fatalf("variable timing = %+v, want tau ~11.9 h 15", tm)
+	}
+}
+
+func TestTimingUnknownISP(t *testing.T) {
+	if _, err := Xavier().TimingFor("S9", 0); err == nil {
+		t.Fatal("unknown ISP accepted")
+	}
+}
+
+func TestCeilToStep(t *testing.T) {
+	p := Xavier()
+	cases := [][2]float64{{24.6, 25}, {25, 25}, {0.1, 5}, {35.6, 40}, {40.7, 45}}
+	for _, c := range cases {
+		if got := p.CeilToStep(c[0]); got != c[1] {
+			t.Fatalf("CeilToStep(%v) = %v, want %v", c[0], got, c[1])
+		}
+	}
+}
+
+func TestPipelineTaskMapping(t *testing.T) {
+	tasks, err := PipelineTasks("S0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 6 {
+		t.Fatalf("task count = %d, want 6", len(tasks))
+	}
+	// Fig. 4b: image tasks on GPU, control on CPU.
+	for _, task := range tasks[:5] {
+		if task.Resource != GPU {
+			t.Fatalf("%s mapped to %v, want GPU", task.Name, task.Resource)
+		}
+	}
+	if tasks[5].Resource != CPU {
+		t.Fatalf("control mapped to %v, want CPU", tasks[5].Resource)
+	}
+}
+
+func TestScheduleSerial(t *testing.T) {
+	tasks, _ := PipelineTasks("S5", 1)
+	offs := Schedule(tasks)
+	if offs[0] != 0 {
+		t.Fatalf("first task offset %v", offs[0])
+	}
+	for i := 1; i < len(offs); i++ {
+		want := offs[i-1] + tasks[i-1].RuntimeMs
+		if math.Abs(offs[i]-want) > 1e-9 {
+			t.Fatalf("offset %d = %v, want %v", i, offs[i], want)
+		}
+	}
+}
+
+func TestUtilizationAndPower(t *testing.T) {
+	p := Xavier()
+	tasks, _ := PipelineTasks("S0", 2)
+	tm := p.Timing(tasks)
+	u := Utilization(tasks, tm.HMs)
+	if u[GPU] <= 0 || u[GPU] > 1 {
+		t.Fatalf("GPU utilization = %v", u[GPU])
+	}
+	if u[CPU] <= 0 || u[CPU] > 0.01 {
+		t.Fatalf("CPU utilization = %v", u[CPU])
+	}
+	if pw := p.EstimatePowerW(tasks, tm.HMs); pw <= basePowerW || pw > p.PowerBudgetW {
+		t.Fatalf("power estimate = %v", pw)
+	}
+}
+
+func TestValidateAllConfigsWithinBudget(t *testing.T) {
+	// Every Table II ISP config with up to 3 classifiers must be
+	// schedulable on the Xavier within 30 W.
+	p := Xavier()
+	for _, id := range []string{"S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"} {
+		for n := 0; n <= 3; n++ {
+			tasks, err := PipelineTasks(id, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(tasks); err != nil {
+				t.Fatalf("%s + %d classifiers: %v", id, n, err)
+			}
+		}
+	}
+}
+
+func TestValidateOverload(t *testing.T) {
+	p := Xavier()
+	tasks := []Task{{Name: "impossible", Resource: GPU, RuntimeMs: 1e6}}
+	tm := p.Timing(tasks)
+	// Serial schedule always fits its own h; force utilization overload.
+	tasks = append(tasks, Task{Name: "also", Resource: GPU, RuntimeMs: tm.HMs})
+	longer := []Task{
+		{Name: "a", Resource: GPU, RuntimeMs: 10},
+	}
+	u := Utilization(longer, 5)
+	if u[GPU] <= 1 {
+		t.Fatalf("expected overload, got %v", u[GPU])
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Fatal("resource stringer broken")
+	}
+}
+
+// TestPowerModesStretchTiming: tighter power budgets stretch tau and h —
+// the hardware-awareness axis beyond the paper's fixed 30 W point.
+func TestPowerModesStretchTiming(t *testing.T) {
+	base := Xavier()
+	tm30, _ := base.WithPowerMode(Mode30W).TimingFor("S0", 0)
+	tm15, _ := base.WithPowerMode(Mode15W).TimingFor("S0", 0)
+	tm10, _ := base.WithPowerMode(Mode10W).TimingFor("S0", 0)
+	if !(tm30.TauMs < tm15.TauMs && tm15.TauMs < tm10.TauMs) {
+		t.Fatalf("tau not monotone in power: %v %v %v", tm30.TauMs, tm15.TauMs, tm10.TauMs)
+	}
+	if tm30.HMs != 25 {
+		t.Fatalf("30W case-1 h = %v", tm30.HMs)
+	}
+	if tm10.HMs <= tm30.HMs {
+		t.Fatalf("10W h (%v) not above 30W h (%v)", tm10.HMs, tm30.HMs)
+	}
+	// The 30 W mode is the identity: Table V timings unchanged.
+	if math.Abs(tm30.TauMs-24.6025) > 0.01 {
+		t.Fatalf("30W tau = %v", tm30.TauMs)
+	}
+	if base.WithPowerMode(Mode15W).PowerBudgetW != 15 {
+		t.Fatal("budget not applied")
+	}
+}

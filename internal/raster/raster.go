@@ -1,0 +1,255 @@
+// Package raster provides the image substrate shared by the synthetic
+// camera, the ISP pipeline and the perception stage: planar float32 RGB
+// frames, single-channel gray frames, RGGB Bayer mosaics, bilinear
+// resampling and PPM/PGM export for debugging.
+//
+// All pixel values are linear-light floats nominally in [0, 1]; stages
+// may transiently exceed the range (e.g. specular highlights before gamut
+// mapping), so clamping is explicit, not implicit.
+package raster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gray is a single-channel float32 image, row-major.
+type Gray struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewGray returns a zeroed gray image.
+func NewGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("raster: invalid gray dimensions %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return 0.
+func (g *Gray) At(x, y int) float32 {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 0
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are dropped.
+func (g *Gray) Set(x, y int, v float32) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (g *Gray) Clone() *Gray {
+	c := NewGray(g.W, g.H)
+	copy(c.Pix, g.Pix)
+	return c
+}
+
+// RGB is a planar three-channel float32 image.
+type RGB struct {
+	W, H    int
+	R, G, B []float32
+}
+
+// NewRGB returns a zeroed RGB image.
+func NewRGB(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("raster: invalid rgb dimensions %dx%d", w, h))
+	}
+	n := w * h
+	return &RGB{W: w, H: h, R: make([]float32, n), G: make([]float32, n), B: make([]float32, n)}
+}
+
+// At returns the (r, g, b) triple at (x, y); out-of-bounds reads return black.
+func (im *RGB) At(x, y int) (r, g, b float32) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0, 0, 0
+	}
+	i := y*im.W + x
+	return im.R[i], im.G[i], im.B[i]
+}
+
+// Set writes the triple at (x, y); out-of-bounds writes are dropped.
+func (im *RGB) Set(x, y int, r, g, b float32) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	i := y*im.W + x
+	im.R[i], im.G[i], im.B[i] = r, g, b
+}
+
+// Clone returns a deep copy.
+func (im *RGB) Clone() *RGB {
+	c := NewRGB(im.W, im.H)
+	copy(c.R, im.R)
+	copy(c.G, im.G)
+	copy(c.B, im.B)
+	return c
+}
+
+// Luma returns the Rec.709 luma of the image as a gray image.
+func (im *RGB) Luma() *Gray {
+	g := NewGray(im.W, im.H)
+	for i := range g.Pix {
+		g.Pix[i] = 0.2126*im.R[i] + 0.7152*im.G[i] + 0.0722*im.B[i]
+	}
+	return g
+}
+
+// Clamp clips all channels into [0, 1] in place and returns the image.
+func (im *RGB) Clamp() *RGB {
+	for _, ch := range [][]float32{im.R, im.G, im.B} {
+		for i, v := range ch {
+			if v < 0 {
+				ch[i] = 0
+			} else if v > 1 {
+				ch[i] = 1
+			}
+		}
+	}
+	return im
+}
+
+// CFA identifies a color-filter-array cell color.
+type CFA uint8
+
+// Bayer RGGB cell colors.
+const (
+	CFARed CFA = iota
+	CFAGreen
+	CFABlue
+)
+
+// Bayer is a RAW sensor mosaic with an RGGB pattern:
+//
+//	R G R G ...
+//	G B G B ...
+type Bayer struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewBayer returns a zeroed RGGB mosaic.
+func NewBayer(w, h int) *Bayer {
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("raster: bayer dimensions must be positive and even, got %dx%d", w, h))
+	}
+	return &Bayer{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// ColorAt returns the CFA color of cell (x, y) in the RGGB pattern.
+func ColorAt(x, y int) CFA {
+	switch {
+	case y%2 == 0 && x%2 == 0:
+		return CFARed
+	case y%2 == 1 && x%2 == 1:
+		return CFABlue
+	default:
+		return CFAGreen
+	}
+}
+
+// At returns the raw sample at (x, y) with mirrored border handling, so
+// demosaic kernels can run uniformly over the full frame.
+func (b *Bayer) At(x, y int) float32 {
+	x = reflect(x, b.W)
+	y = reflect(y, b.H)
+	return b.Pix[y*b.W+x]
+}
+
+// Set writes the raw sample at (x, y); out-of-bounds writes are dropped.
+func (b *Bayer) Set(x, y int, v float32) {
+	if x < 0 || y < 0 || x >= b.W || y >= b.H {
+		return
+	}
+	b.Pix[y*b.W+x] = v
+}
+
+// reflect mirrors coordinate i into [0, n).
+func reflect(i, n int) int {
+	if i < 0 {
+		i = -i - 1
+	}
+	if i >= n {
+		i = 2*n - 1 - i
+	}
+	if i < 0 {
+		i = 0
+	} else if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Sample bilinearly interpolates g at the real-valued position (x, y).
+// Coordinates outside the frame are clamped to the border.
+func (g *Gray) Sample(x, y float64) float32 {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return 0
+	}
+	x = clampF(x, 0, float64(g.W-1))
+	y = clampF(y, 0, float64(g.H-1))
+	x0, y0 := int(x), int(y)
+	x1, y1 := x0+1, y0+1
+	if x1 >= g.W {
+		x1 = g.W - 1
+	}
+	if y1 >= g.H {
+		y1 = g.H - 1
+	}
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	v00 := g.Pix[y0*g.W+x0]
+	v10 := g.Pix[y0*g.W+x1]
+	v01 := g.Pix[y1*g.W+x0]
+	v11 := g.Pix[y1*g.W+x1]
+	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+}
+
+// Resize returns im resampled to w×h with bilinear interpolation. It is
+// used to shrink camera frames into classifier inputs.
+func (im *RGB) Resize(w, h int) *RGB {
+	out := NewRGB(w, h)
+	sx := float64(im.W) / float64(w)
+	sy := float64(im.H) / float64(h)
+	planesIn := [][]float32{im.R, im.G, im.B}
+	planesOut := [][]float32{out.R, out.G, out.B}
+	for p := 0; p < 3; p++ {
+		src := &Gray{W: im.W, H: im.H, Pix: planesIn[p]}
+		dst := planesOut[p]
+		for y := 0; y < h; y++ {
+			fy := (float64(y)+0.5)*sy - 0.5
+			for x := 0; x < w; x++ {
+				fx := (float64(x)+0.5)*sx - 0.5
+				dst[y*w+x] = src.Sample(fx, fy)
+			}
+		}
+	}
+	return out
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clamp01 clips a float32 into [0, 1].
+func Clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

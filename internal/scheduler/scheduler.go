@@ -1,0 +1,116 @@
+// Package scheduler implements the classifier invocation policies of the
+// paper: fixed per-frame invocation of a case's classifier subset
+// (Sec. IV-C/D) and the variable-frequency scheme of Sec. IV-E that runs
+// exactly one classifier per frame — the road classifier for a 300 ms
+// window, then one frame of the lane classifier, then one frame of the
+// scene classifier.
+package scheduler
+
+import "hsas/internal/knobs"
+
+// Invocation says which classifiers run on a given frame.
+type Invocation struct {
+	Road, Lane, Scene bool
+}
+
+// Count returns how many classifiers the invocation runs.
+func (iv Invocation) Count() int {
+	n := 0
+	if iv.Road {
+		n++
+	}
+	if iv.Lane {
+		n++
+	}
+	if iv.Scene {
+		n++
+	}
+	return n
+}
+
+// Policy decides per-frame classifier invocations.
+type Policy interface {
+	// Next returns the invocation for the frame at the given time.
+	// Frames must be requested in nondecreasing time order.
+	Next(timeMs float64) Invocation
+	// PerFrame is the worst-case number of classifier invocations per
+	// frame, which sets the pipeline timing (tau, h).
+	PerFrame() int
+	Name() string
+}
+
+// Fixed invokes the same classifier subset every frame (cases 1–4).
+type Fixed struct {
+	Inv   Invocation
+	Label string
+}
+
+// Next implements Policy.
+func (f Fixed) Next(float64) Invocation { return f.Inv }
+
+// PerFrame implements Policy.
+func (f Fixed) PerFrame() int { return f.Inv.Count() }
+
+// Name implements Policy.
+func (f Fixed) Name() string { return f.Label }
+
+// RoadWindowMs is the road-classifier window of the variable scheme. The
+// paper derives 300 ms from the 5.5 m look-ahead at 50 km/h (footnote 8).
+const RoadWindowMs = 300.0
+
+// Variable is the Sec. IV-E scheme: one classifier per frame — road for
+// RoadWindowMs, then lane for one frame, then scene for one frame.
+type Variable struct {
+	windowStart float64
+	phase       int // 0 = road window, 1 = lane frame, 2 = scene frame
+	started     bool
+}
+
+// NewVariable returns the variable-invocation policy.
+func NewVariable() *Variable { return &Variable{} }
+
+// Next implements Policy.
+func (v *Variable) Next(timeMs float64) Invocation {
+	if !v.started {
+		v.started = true
+		v.windowStart = timeMs
+	}
+	switch v.phase {
+	case 1:
+		v.phase = 2
+		return Invocation{Lane: true}
+	case 2:
+		v.phase = 0
+		v.windowStart = timeMs
+		return Invocation{Scene: true}
+	default:
+		if timeMs-v.windowStart >= RoadWindowMs {
+			v.phase = 1
+			// This frame is the last of the road window; the next frame
+			// runs the lane classifier in its place (Sec. IV-E).
+		}
+		return Invocation{Road: true}
+	}
+}
+
+// PerFrame implements Policy.
+func (v *Variable) PerFrame() int { return 1 }
+
+// Name implements Policy.
+func (v *Variable) Name() string { return "variable" }
+
+// ForCase returns the invocation policy of an evaluation case.
+func ForCase(c knobs.Case) Policy {
+	switch c {
+	case knobs.Case1:
+		return Fixed{Label: "none"}
+	case knobs.Case2:
+		return Fixed{Inv: Invocation{Road: true}, Label: "road"}
+	case knobs.Case3:
+		return Fixed{Inv: Invocation{Road: true, Lane: true}, Label: "road+lane"}
+	case knobs.Case4:
+		return Fixed{Inv: Invocation{Road: true, Lane: true, Scene: true}, Label: "all"}
+	default:
+		return NewVariable()
+	}
+}

@@ -1,0 +1,104 @@
+package scheduler
+
+import (
+	"testing"
+
+	"hsas/internal/knobs"
+)
+
+func TestFixedPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		c        knobs.Case
+		perFrame int
+	}{
+		{knobs.Case1, 0}, {knobs.Case2, 1}, {knobs.Case3, 2}, {knobs.Case4, 3},
+	} {
+		p := ForCase(tc.c)
+		if p.PerFrame() != tc.perFrame {
+			t.Fatalf("%v per-frame = %d, want %d", tc.c, p.PerFrame(), tc.perFrame)
+		}
+		// Fixed policies are time invariant.
+		a, b := p.Next(0), p.Next(1000)
+		if a != b {
+			t.Fatalf("%v not time invariant", tc.c)
+		}
+		if a.Count() != tc.perFrame {
+			t.Fatalf("%v invocation count %d", tc.c, a.Count())
+		}
+	}
+	// Case 3 runs road and lane but not scene.
+	iv := ForCase(knobs.Case3).Next(0)
+	if !iv.Road || !iv.Lane || iv.Scene {
+		t.Fatalf("case 3 invocation = %+v", iv)
+	}
+}
+
+func TestVariableCycle(t *testing.T) {
+	p := NewVariable()
+	if p.PerFrame() != 1 {
+		t.Fatalf("variable per-frame = %d", p.PerFrame())
+	}
+	// 15 ms frames: 300 ms window = 20 road frames, then lane, then scene.
+	h := 15.0
+	var seq []Invocation
+	for i := 0; i < 50; i++ {
+		seq = append(seq, p.Next(float64(i)*h))
+	}
+	roadRun := 0
+	for _, iv := range seq {
+		if iv.Count() != 1 {
+			t.Fatalf("variable ran %d classifiers in one frame", iv.Count())
+		}
+		if iv.Road {
+			roadRun++
+		} else {
+			break
+		}
+	}
+	// Window is 300/15 = 20 frames of road (boundary frame included).
+	if roadRun < 19 || roadRun > 22 {
+		t.Fatalf("road window length %d frames", roadRun)
+	}
+	if !seq[roadRun].Lane {
+		t.Fatalf("frame after road window = %+v, want lane", seq[roadRun])
+	}
+	if !seq[roadRun+1].Scene {
+		t.Fatalf("next frame = %+v, want scene", seq[roadRun+1])
+	}
+	if !seq[roadRun+2].Road {
+		t.Fatalf("cycle did not restart with road: %+v", seq[roadRun+2])
+	}
+}
+
+func TestVariableCoversAllClassifiersRepeatedly(t *testing.T) {
+	p := NewVariable()
+	var road, lane, scene int
+	for i := 0; i < 400; i++ {
+		iv := p.Next(float64(i) * 25)
+		if iv.Road {
+			road++
+		}
+		if iv.Lane {
+			lane++
+		}
+		if iv.Scene {
+			scene++
+		}
+	}
+	if road == 0 || lane < 2 || scene < 2 {
+		t.Fatalf("coverage: road %d lane %d scene %d", road, lane, scene)
+	}
+	if lane != scene {
+		t.Fatalf("lane and scene invocation counts differ: %d vs %d", lane, scene)
+	}
+	if road < 10*lane {
+		t.Fatalf("road should dominate invocations: road %d lane %d", road, lane)
+	}
+}
+
+func TestForCaseVariable(t *testing.T) {
+	p := ForCase(knobs.CaseVariable)
+	if p.Name() != "variable" || p.PerFrame() != 1 {
+		t.Fatalf("ForCase(CaseVariable) = %v", p.Name())
+	}
+}

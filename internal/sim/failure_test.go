@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"hsas/internal/camera"
+	"hsas/internal/knobs"
+	"hsas/internal/raster"
+	"hsas/internal/scheduler"
+	"hsas/internal/world"
+)
+
+// constSensor always reports the same class, regardless of the frame —
+// a worst-case classifier for failure injection.
+type constSensor struct{ class int }
+
+func (c constSensor) Classify(*raster.RGB, world.Situation) int { return c.class }
+
+// TestMisclassifyingRoadSensorDegrades injects a road classifier that
+// always reports "straight": on a turn track the system behaves like
+// case 1 (fixed straight knobs) and must fail where case 1 fails —
+// graceful degradation, not a panic.
+func TestMisclassifyingRoadSensorDegrades(t *testing.T) {
+	sit := world.Situation{Layout: world.RightTurn, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	sens := OracleSensors()
+	sens.Road = constSensor{int(world.Straight)}
+	res, err := Run(Config{
+		Track:  world.SituationTrack(sit),
+		Camera: camera.Scaled(192, 96),
+		Case:   knobs.Case4,
+		Sens:   sens,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("blinded road classifier should fail on the turn like case 1")
+	}
+
+	// With the correct sensor the same configuration completes.
+	good, err := Run(Config{
+		Track:  world.SituationTrack(sit),
+		Camera: camera.Scaled(192, 96),
+		Case:   knobs.Case4,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Crashed {
+		t.Fatal("oracle-sensed run should complete")
+	}
+}
+
+// TestOutOfRangeSensorClamped: sensors returning garbage class indices
+// must be clamped, not crash the run.
+func TestOutOfRangeSensorClamped(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	sens := Sensors{
+		Road:  constSensor{-5},
+		Lane:  constSensor{99},
+		Scene: constSensor{1000},
+	}
+	res, err := Run(Config{
+		Track:  world.SituationTrack(sit),
+		Camera: camera.Scaled(160, 80),
+		Case:   knobs.Case4,
+		Sens:   sens,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatalf("garbage sensor outputs errored the run: %v", err)
+	}
+	if res.Frames == 0 {
+		t.Fatal("run did not progress")
+	}
+}
+
+// TestFixedSettingMode: the characterization mode must hold its knobs for
+// the whole run.
+func TestFixedSettingMode(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.Yellow, Form: world.Continuous}, Scene: world.Day}
+	setting := knobs.Setting{ISP: "S5", ROI: 1, SpeedKmph: 50}
+	var settings []knobs.Setting
+	res, err := Run(Config{
+		Track:            world.SituationTrack(sit),
+		Camera:           camera.Scaled(160, 80),
+		Seed:             1,
+		FixedSetting:     &setting,
+		FixedClassifiers: 3,
+		Trace: func(p TracePoint) {
+			settings = append(settings, p.Setting)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed {
+		t.Fatal("fixed-setting run crashed on a straight")
+	}
+	for _, s := range settings {
+		if s != setting {
+			t.Fatalf("fixed setting drifted to %v", s)
+		}
+	}
+	if len(res.SettingsUsed) != 1 {
+		t.Fatalf("settings used = %v", res.SettingsUsed)
+	}
+}
+
+// TestBadFixedISPErrors: an unknown ISP id in the fixed setting must be
+// reported, not panic.
+func TestBadFixedISPErrors(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	setting := knobs.Setting{ISP: "S99", ROI: 1, SpeedKmph: 50}
+	if _, err := Run(Config{
+		Track:        world.SituationTrack(sit),
+		Camera:       camera.Scaled(160, 80),
+		FixedSetting: &setting,
+	}); err == nil {
+		t.Fatal("unknown ISP accepted")
+	}
+}
+
+// TestCustomPolicyInjection: a custom invocation policy can replace the
+// case default.
+func TestCustomPolicyInjection(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	res, err := Run(Config{
+		Track:  world.SituationTrack(sit),
+		Camera: camera.Scaled(160, 80),
+		Case:   knobs.Case4,
+		Policy: scheduler.Fixed{Inv: scheduler.Invocation{Road: true}, Label: "road-only-override"},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Road-only at case 4's table: pipeline charges one classifier,
+	// so the loop samples faster than the stock case 4.
+	stock, err := Run(Config{
+		Track:  world.SituationTrack(sit),
+		Camera: camera.Scaled(160, 80),
+		Case:   knobs.Case4,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames <= stock.Frames {
+		t.Fatalf("policy override did not change the pipeline: %d vs %d", res.Frames, stock.Frames)
+	}
+}

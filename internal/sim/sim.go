@@ -1,0 +1,484 @@
+// Package sim is the closed-loop hardware-in-the-loop substitute: it
+// replaces the paper's Webots + IMACS setup with a fixed-step (5 ms)
+// simulation of the nonlinear vehicle, the synthetic camera, the ISP,
+// perception, situation classifiers, the delay-aware LQR controller and
+// the dynamic runtime reconfiguration of Sec. III-D.
+//
+// Two clocks run: physics advances every Config.StepS seconds; the
+// sensing pipeline samples every h (ceiled to the step, footnote 5) and
+// actuates tau after each capture. PR and control knobs reconfigure in
+// the same cycle as situation identification; the ISP knob applies one
+// cycle later, exactly as the paper argues is safe.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hsas/internal/camera"
+	"hsas/internal/classifier"
+	"hsas/internal/control"
+	"hsas/internal/isp"
+	"hsas/internal/knobs"
+	"hsas/internal/metrics"
+	"hsas/internal/perception"
+	"hsas/internal/platform"
+	"hsas/internal/raster"
+	"hsas/internal/scheduler"
+	"hsas/internal/vehicle"
+	"hsas/internal/world"
+)
+
+// Sensor produces a class label for one classifier kind from the
+// ISP-processed frame. The ground-truth situation is supplied so oracle
+// sensors (used to isolate perception effects from classification errors)
+// can be substituted for trained CNNs.
+type Sensor interface {
+	Classify(img *raster.RGB, truth world.Situation) int
+}
+
+// Oracle is a perfect sensor of one kind.
+type Oracle struct{ Kind classifier.Kind }
+
+// Classify implements Sensor with the ground-truth label.
+func (o Oracle) Classify(_ *raster.RGB, truth world.Situation) int {
+	l, ok := o.Kind.Label(truth)
+	if !ok {
+		// Outside the classifier taxonomy (e.g. white double): report the
+		// nearest class the runtime can act on.
+		return 0
+	}
+	return l
+}
+
+// CNN wraps a trained classifier as a Sensor.
+type CNN struct{ C *classifier.Classifier }
+
+// Classify implements Sensor with real inference.
+func (s CNN) Classify(img *raster.RGB, _ world.Situation) int { return s.C.Classify(img) }
+
+// Sensors bundles the three situation sensors.
+type Sensors struct {
+	Road, Lane, Scene Sensor
+}
+
+// OracleSensors returns perfect sensors for all three kinds.
+func OracleSensors() Sensors {
+	return Sensors{
+		Road:  Oracle{classifier.Road},
+		Lane:  Oracle{classifier.Lane},
+		Scene: Oracle{classifier.Scene},
+	}
+}
+
+// Config parameterizes one closed-loop run.
+type Config struct {
+	Track    *world.Track
+	Camera   camera.Camera
+	Plant    vehicle.Params
+	Platform platform.Platform
+
+	Case   knobs.Case
+	Table  knobs.Table      // characterized table (cases 4 / variable)
+	Policy scheduler.Policy // defaults to scheduler.ForCase(Case)
+	Sens   Sensors          // defaults to OracleSensors
+
+	// FixedSetting, when non-nil, disables runtime reconfiguration and
+	// runs the whole track with this knob setting and the given number of
+	// per-frame classifier invocations charged to the pipeline timing.
+	// This is the design-time characterization mode (Sec. III-B).
+	FixedSetting     *knobs.Setting
+	FixedClassifiers int
+
+	Seed       int64
+	StepS      float64 // physics step, default 0.005 (5 ms)
+	PreviewM   float64 // classifier preview distance, default 15 m
+	MaxTimeS   float64 // wall-clock cap, default sized from track length
+	StartS     float64 // initial arclength
+	InitialLat float64 // initial lateral offset
+	EndMargin  float64 // stop this many meters before the track end
+
+	// UseFeedforward enables the measured-curvature steering feedforward.
+	// The paper's controller is a pure LQR on yL (Sec. II); feedforward is
+	// provided as an ablation (see bench_ablation_test.go).
+	UseFeedforward bool
+
+	// Trace, when set, receives one sample per control cycle.
+	Trace func(TracePoint)
+}
+
+// TracePoint is one control-cycle sample for debugging and plots.
+type TracePoint struct {
+	TimeS   float64
+	S       float64
+	Lat     float64
+	YLTrue  float64
+	YLMeas  float64
+	DetOK   bool
+	Steer   float64
+	Sector  int
+	Setting knobs.Setting
+	HMs     float64
+	TauMs   float64
+}
+
+// Result summarizes one closed-loop run.
+type Result struct {
+	PerSector   *metrics.PerSector
+	MAE         float64
+	Crashed     bool
+	CrashSector int
+	CrashTimeS  float64
+	CompletedS  float64
+	Frames      int
+	DetectFails int
+	Detection   metrics.DetectionAccuracy
+	// SettingsUsed records the distinct knob settings applied, in order.
+	SettingsUsed []knobs.Setting
+}
+
+// Crash thresholds: the run fails when the vehicle center leaves the
+// paved lane corridor or yaws far off the road tangent — the Webots
+// analog is hitting the barriers.
+const (
+	crashLat     = 2.4 // meters from lane center
+	crashHeading = 1.0 // radians from track tangent
+	ylGate       = 1.2 // meters: max credible yL change between samples
+	speedAccel   = 2.0 // m/s^2 when speeding up to the knob
+	speedDecel   = 4.0 // m/s^2 when braking down to the knob
+)
+
+// Run executes the closed-loop simulation to the end of the track, a
+// crash, or the time cap.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Track == nil {
+		return nil, fmt.Errorf("sim: Config.Track is required")
+	}
+	if cfg.StepS == 0 {
+		cfg.StepS = 0.005
+	}
+	if cfg.Camera.Width == 0 {
+		cfg.Camera = camera.Default()
+	}
+	if cfg.Plant.Mass == 0 {
+		cfg.Plant = vehicle.BMWX5()
+	}
+	if cfg.Platform.Name == "" {
+		cfg.Platform = platform.Xavier()
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = scheduler.ForCase(cfg.Case)
+	}
+	if cfg.Sens.Road == nil {
+		cfg.Sens = OracleSensors()
+	}
+	if cfg.Table == nil {
+		cfg.Table = knobs.PaperTable()
+	}
+	if cfg.EndMargin == 0 {
+		cfg.EndMargin = 22
+	}
+	if cfg.PreviewM == 0 {
+		cfg.PreviewM = 15
+	}
+	if cfg.MaxTimeS == 0 {
+		// Generous cap: slowest speed plus settling margin.
+		cfg.MaxTimeS = cfg.Track.Length()/vehicle.Kmph(25) + 10
+	}
+
+	rend := camera.NewRenderer(cfg.Track, cfg.Camera)
+	det := perception.NewDetector(perception.NewGeometry(cfg.Camera))
+
+	r := &runner{cfg: cfg, rend: rend, det: det, designs: map[designKey]*control.Design{}}
+	return r.run()
+}
+
+type designKey struct {
+	speed float64
+	hMs   float64
+	tauMs float64
+}
+
+type runner struct {
+	cfg     Config
+	rend    *camera.Renderer
+	det     *perception.Detector
+	designs map[designKey]*control.Design
+}
+
+// belief is the runtime's current view of the situation, updated by the
+// invoked classifiers.
+type belief struct {
+	road, lane, scene int
+}
+
+func (b belief) situation() world.Situation {
+	return world.Situation{
+		Layout: world.RoadLayout(b.road),
+		Lane:   world.LaneMarkingForClass(b.lane),
+		Scene:  world.Scene(b.scene),
+	}
+}
+
+func (r *runner) design(speed, hMs, tauMs float64) (*control.Design, error) {
+	key := designKey{speed, hMs, tauMs}
+	if d, ok := r.designs[key]; ok {
+		return d, nil
+	}
+	d, err := control.NewDesign(r.cfg.Plant, speed, hMs/1000, tauMs/1000, perception.LookAhead)
+	if err != nil {
+		return nil, err
+	}
+	r.designs[key] = d
+	return d, nil
+}
+
+func (r *runner) run() (*Result, error) {
+	cfg := r.cfg
+	track := cfg.Track
+
+	res := &Result{
+		PerSector: metrics.NewPerSector(len(track.Segments)),
+		Detection: metrics.DetectionAccuracy{Tol: 0.3},
+	}
+
+	// Initial belief: ground truth at the starting position (the first
+	// frame immediately refreshes whatever the policy invokes).
+	truth0 := track.SituationAt(cfg.StartS)
+	bel := belief{}
+	bel.road = int(truth0.Layout)
+	if lc, ok := world.LaneClass(truth0.Lane); ok {
+		bel.lane = lc
+	}
+	bel.scene = int(truth0.Scene)
+
+	classifiersPerFrame := cfg.Policy.PerFrame()
+	setting := knobs.CaseSetting(cfg.Case, bel.situation(), cfg.Table)
+	if cfg.FixedSetting != nil {
+		setting = *cfg.FixedSetting
+		classifiersPerFrame = cfg.FixedClassifiers
+	}
+	activeISP, _ := isp.ByID(setting.ISP)
+	res.SettingsUsed = append(res.SettingsUsed, setting)
+
+	timing, err := cfg.Platform.TimingFor(setting.ISP, classifiersPerFrame)
+	if err != nil {
+		return nil, err
+	}
+	des, err := r.design(setting.SpeedKmph, timing.HMs, cfg.Platform.CeilToStep(timing.TauMs))
+	if err != nil {
+		return nil, err
+	}
+	ctl := control.NewController(des)
+
+	// Vehicle starts centered, aligned, at the setting's speed.
+	vp := camera.PoseOnTrack(track, cfg.StartS, cfg.InitialLat, 0)
+	plant := vehicle.NewPlant(cfg.Plant, vehicle.Kmph(setting.SpeedKmph), vehicle.State{X: vp.X, Y: vp.Y, Psi: vp.Psi})
+	targetSpeed := plant.Vx
+
+	s := cfg.StartS
+	endS := track.Length() - cfg.EndMargin
+	stepMs := cfg.StepS * 1000
+	nextFrameMs := 0.0
+	actT := math.Inf(1) // time of the pending actuation, ms
+	actU := 0.0
+	curvEMA := 0.0
+	frame := 0
+	ylPrev := 0.0
+	haveYl := false
+	gateRejects := 0
+
+	for t := 0.0; t < cfg.MaxTimeS*1000; t += stepMs {
+		// ---- Actuation due at this instant (before a new capture may
+		// schedule the next command: tau ceiled to the step can land
+		// exactly on the next sampling instant) ----
+		if t >= actT-1e-9 {
+			plant.Command(actU)
+			actT = math.Inf(1)
+		}
+
+		// ---- Sensing pipeline at the sampling instants ----
+		if t >= nextFrameMs-1e-9 {
+			// The camera frames the road ahead: classifier ground truth is
+			// what a frame over the visible ground window depicts, not just
+			// the situation under the axle. The window starts AT the
+			// vehicle: a frame taken mid-curve shows curve in its immediate
+			// foreground, so turn handling is not released until the arc
+			// has actually passed beneath the vehicle.
+			truth := track.CameraSituationAhead(s, 0, cfg.PreviewM)
+			raw := r.rend.RenderRAW(camera.VehiclePose{X: plant.St.X, Y: plant.St.Y, Psi: plant.St.Psi, S: s}, cfg.Seed+int64(frame)*7919)
+			rgb := activeISP.Process(raw)
+
+			// Situation identification on the ISP output (Fig. 2).
+			inv := cfg.Policy.Next(t)
+			if inv.Road {
+				bel.road = clampClass(cfg.Sens.Road.Classify(rgb, truth), world.NumRoadClasses)
+			}
+			if inv.Lane {
+				bel.lane = clampClass(cfg.Sens.Lane.Classify(rgb, truth), world.NumLaneClasses)
+			}
+			if inv.Scene {
+				bel.scene = clampClass(cfg.Sens.Scene.Classify(rgb, truth), world.NumSceneClasses)
+			}
+
+			// Knob selection from the believed situation. PR and control
+			// knobs apply in this cycle; the ISP knob next cycle.
+			newSetting := knobs.CaseSetting(cfg.Case, bel.situation(), cfg.Table)
+			if cfg.FixedSetting != nil {
+				newSetting = *cfg.FixedSetting
+			}
+			if newSetting != setting {
+				res.SettingsUsed = append(res.SettingsUsed, newSetting)
+			}
+
+			roi, _ := perception.ROIByID(newSetting.ROI)
+			pres := r.det.Detect(rgb, roi, perception.LookAhead)
+
+			// Ground truth at the look-ahead for QoC and detection stats.
+			ylTrue, trueOK := r.truthYL(plant, s)
+			if trueOK {
+				res.Detection.Add(pres.YL, ylTrue, pres.OK && pres.CandidatePixels > 0)
+			}
+
+			// Innovation gating: a yL jump beyond what the vehicle can
+			// physically produce in one period is a perception outlier
+			// (dash glitch, clutter lock): coast through it, but accept
+			// after a few consecutive rejections so the loop cannot lock
+			// out a genuine change.
+			measOK := pres.OK
+			if measOK && haveYl && gateRejects < 3 && math.Abs(pres.YL-ylPrev) > ylGate {
+				measOK = false
+				gateRejects++
+			} else if measOK {
+				gateRejects = 0
+			}
+
+			var u float64
+			if measOK {
+				ylPrev = pres.YL
+				haveYl = true
+				if cfg.UseFeedforward {
+					curvEMA = 0.7*curvEMA + 0.3*pres.Curvature
+				}
+				u = ctl.Step(pres.YL, curvEMA)
+			} else {
+				res.DetectFails++
+				u = ctl.Coast()
+			}
+			// Actuation tau after capture, ceiled to the simulation step.
+			actT = t + cfg.Platform.CeilToStep(timing.TauMs)
+			actU = u
+
+			if cfg.Trace != nil {
+				cfg.Trace(TracePoint{
+					TimeS: t / 1000, S: s, Lat: -0, YLTrue: ylTrue, YLMeas: pres.YL,
+					DetOK: pres.OK, Steer: u, Sector: track.SectorAt(s),
+					Setting: newSetting, HMs: timing.HMs, TauMs: timing.TauMs,
+				})
+			}
+
+			// Apply reconfiguration: speed now, ISP next cycle, and
+			// retime when the knob setting changed.
+			if newSetting != setting {
+				targetSpeed = vehicle.Kmph(newSetting.SpeedKmph)
+				nextISP, _ := isp.ByID(newSetting.ISP)
+				newTiming, err := cfg.Platform.TimingFor(newSetting.ISP, classifiersPerFrame)
+				if err != nil {
+					return nil, err
+				}
+				// One-cycle ISP reconfiguration delay: the frame we just
+				// processed used the old pipeline; the next uses nextISP.
+				activeISP = nextISP
+				timing = newTiming
+				setting = newSetting
+			}
+
+			// The controller bank is indexed by the knob speed; gains match
+			// the plant once the speed slew completes.
+			newDes, err := r.design(setting.SpeedKmph, timing.HMs, cfg.Platform.CeilToStep(timing.TauMs))
+			if err != nil {
+				return nil, err
+			}
+			if newDes != ctl.D {
+				nc := control.NewController(newDes)
+				nc.CopyStateFrom(ctl)
+				ctl = nc
+			}
+
+			nextFrameMs += timing.HMs
+			frame++
+		}
+
+		// ---- Physics ----
+		// Speed knob slew: gentle acceleration, firm braking.
+		if plant.Vx < targetSpeed {
+			plant.Vx = math.Min(targetSpeed, plant.Vx+speedAccel*cfg.StepS)
+		} else if plant.Vx > targetSpeed {
+			plant.Vx = math.Max(targetSpeed, plant.Vx-speedDecel*cfg.StepS)
+		}
+		plant.Step(cfg.StepS)
+
+		ns, lat, ok := track.Locate(plant.St.X, plant.St.Y, s, 10, 15, 8)
+		if !ok {
+			res.Crashed = true
+			res.CrashSector = track.SectorAt(s)
+			res.CrashTimeS = t / 1000
+			break
+		}
+		s = ns
+
+		// QoC sample: ground-truth lateral deviation at the look-ahead.
+		if ylTrue, tok := r.truthYL(plant, s); tok {
+			res.PerSector.Add(track.SectorAt(s), ylTrue)
+		}
+
+		// Crash detection.
+		tangent := track.Pose(s).Theta
+		if math.Abs(lat) > crashLat || math.Abs(normAngle(plant.St.Psi-tangent)) > crashHeading {
+			res.Crashed = true
+			res.CrashSector = track.SectorAt(s)
+			res.CrashTimeS = t / 1000
+			break
+		}
+		if s >= endS {
+			break
+		}
+	}
+
+	res.CompletedS = s - cfg.StartS
+	res.Frames = frame
+	res.MAE = res.PerSector.Overall()
+	return res, nil
+}
+
+// truthYL computes the ground-truth lateral deviation of the lane center
+// at the look-ahead distance in the vehicle frame.
+func (r *runner) truthYL(plant *vehicle.Plant, s float64) (float64, bool) {
+	px := plant.St.X + perception.LookAhead*math.Cos(plant.St.Psi)
+	py := plant.St.Y + perception.LookAhead*math.Sin(plant.St.Psi)
+	_, lat, ok := r.cfg.Track.Locate(px, py, s, 10, 15, 8)
+	if !ok {
+		return 0, false
+	}
+	return -lat, true
+}
+
+func clampClass(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+func normAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

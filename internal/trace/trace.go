@@ -1,0 +1,175 @@
+// Package trace records and analyzes closed-loop runs, the role the
+// IMACS framework [11] plays in the paper's HiL setup ("a framework for
+// performance evaluation of image approximation in a closed-loop
+// system"): persist per-cycle samples to CSV, load them back, and compute
+// the transient and steady-state metrics used to compare configurations —
+// settling time, peak deviation, control effort, detection availability.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"hsas/internal/sim"
+)
+
+// Recorder accumulates trace points from a sim run (wire its Add method
+// to sim.Config.Trace).
+type Recorder struct {
+	Points []sim.TracePoint
+}
+
+// Add appends one sample; pass it as the sim.Config.Trace callback.
+func (r *Recorder) Add(p sim.TracePoint) { r.Points = append(r.Points, p) }
+
+var csvHeader = []string{
+	"time_s", "s_m", "sector", "yl_true", "yl_meas", "det_ok",
+	"steer", "isp", "roi", "speed_kmph", "h_ms", "tau_ms",
+}
+
+// WriteCSV serializes the recorded points.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		rec := []string{
+			fmt.Sprintf("%.4f", p.TimeS),
+			fmt.Sprintf("%.3f", p.S),
+			strconv.Itoa(p.Sector),
+			fmt.Sprintf("%.5f", p.YLTrue),
+			fmt.Sprintf("%.5f", p.YLMeas),
+			strconv.FormatBool(p.DetOK),
+			fmt.Sprintf("%.5f", p.Steer),
+			p.Setting.ISP,
+			strconv.Itoa(p.Setting.ROI),
+			fmt.Sprintf("%g", p.Setting.SpeedKmph),
+			fmt.Sprintf("%g", p.HMs),
+			fmt.Sprintf("%.2f", p.TauMs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads points written by WriteCSV.
+func ReadCSV(r io.Reader) ([]sim.TracePoint, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d fields, want %d", len(rows[0]), len(csvHeader))
+	}
+	var out []sim.TracePoint
+	for i, row := range rows[1:] {
+		var p sim.TracePoint
+		var errs []error
+		f := func(j int) float64 {
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				errs = append(errs, err)
+			}
+			return v
+		}
+		n := func(j int) int {
+			v, err := strconv.Atoi(row[j])
+			if err != nil {
+				errs = append(errs, err)
+			}
+			return v
+		}
+		p.TimeS = f(0)
+		p.S = f(1)
+		p.Sector = n(2)
+		p.YLTrue = f(3)
+		p.YLMeas = f(4)
+		p.DetOK = row[5] == "true"
+		p.Steer = f(6)
+		p.Setting.ISP = row[7]
+		p.Setting.ROI = n(8)
+		p.Setting.SpeedKmph = f(9)
+		p.HMs = f(10)
+		p.TauMs = f(11)
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("trace: row %d: %v", i+2, errs[0])
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Metrics summarizes a trace.
+type Metrics struct {
+	// MAE of the true lateral deviation over all samples.
+	MAE float64
+	// Peak absolute true deviation and when it occurred.
+	Peak      float64
+	PeakTimeS float64
+	// SettlingTimeS is the first time after which |yL| stays inside
+	// SettleBand for the rest of the trace; negative if never settled.
+	SettlingTimeS float64
+	// ControlEffort is the mean |steer| command.
+	ControlEffort float64
+	// DetectionAvailability is the fraction of cycles with a usable
+	// perception measurement.
+	DetectionAvailability float64
+	// Reconfigurations counts knob-setting changes.
+	Reconfigurations int
+}
+
+// SettleBand is the |yL| band used for settling time.
+const SettleBand = 0.2 // meters
+
+// Analyze computes the summary metrics of a trace.
+func Analyze(points []sim.TracePoint) Metrics {
+	var m Metrics
+	if len(points) == 0 {
+		m.SettlingTimeS = -1
+		return m
+	}
+	var absSum, effort float64
+	detOK := 0
+	settleIdx := -1
+	for i, p := range points {
+		a := math.Abs(p.YLTrue)
+		absSum += a
+		if a > m.Peak {
+			m.Peak = a
+			m.PeakTimeS = p.TimeS
+		}
+		effort += math.Abs(p.Steer)
+		if p.DetOK {
+			detOK++
+		}
+		if a > SettleBand {
+			settleIdx = -1
+		} else if settleIdx < 0 {
+			settleIdx = i
+		}
+		if i > 0 && points[i].Setting != points[i-1].Setting {
+			m.Reconfigurations++
+		}
+	}
+	n := float64(len(points))
+	m.MAE = absSum / n
+	m.ControlEffort = effort / n
+	m.DetectionAvailability = float64(detOK) / n
+	if settleIdx >= 0 {
+		m.SettlingTimeS = points[settleIdx].TimeS
+	} else {
+		m.SettlingTimeS = -1
+	}
+	return m
+}

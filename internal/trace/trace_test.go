@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hsas/internal/camera"
+	"hsas/internal/knobs"
+	"hsas/internal/sim"
+	"hsas/internal/world"
+)
+
+func syntheticPoints() []sim.TracePoint {
+	var pts []sim.TracePoint
+	for i := 0; i < 100; i++ {
+		t := float64(i) * 0.025
+		// Decaying oscillation: settles below 0.2 m and stays there.
+		yl := 0.8 * math.Exp(-t) * math.Cos(4*t)
+		pts = append(pts, sim.TracePoint{
+			TimeS:   t,
+			S:       t * 8.3,
+			Sector:  1,
+			YLTrue:  yl,
+			YLMeas:  yl + 0.01,
+			DetOK:   i%10 != 0,
+			Steer:   -0.3 * yl,
+			Setting: knobs.Setting{ISP: "S3", ROI: 1, SpeedKmph: 30},
+			HMs:     25, TauMs: 25,
+		})
+	}
+	pts[50].Setting = knobs.Setting{ISP: "S8", ROI: 2, SpeedKmph: 30}
+	return pts
+}
+
+func TestAnalyzeSynthetic(t *testing.T) {
+	m := Analyze(syntheticPoints())
+	if m.Peak < 0.75 || m.Peak > 0.85 {
+		t.Fatalf("peak = %v", m.Peak)
+	}
+	if m.PeakTimeS != 0 {
+		t.Fatalf("peak time = %v", m.PeakTimeS)
+	}
+	if m.SettlingTimeS < 0.5 || m.SettlingTimeS > 2.5 {
+		t.Fatalf("settling time = %v", m.SettlingTimeS)
+	}
+	if math.Abs(m.DetectionAvailability-0.9) > 0.01 {
+		t.Fatalf("availability = %v", m.DetectionAvailability)
+	}
+	// One setting change in, one out (points 50 and 51 differ from both
+	// neighbors).
+	if m.Reconfigurations != 2 {
+		t.Fatalf("reconfigurations = %d", m.Reconfigurations)
+	}
+	if m.ControlEffort <= 0 || m.MAE <= 0 {
+		t.Fatalf("effort %v mae %v", m.ControlEffort, m.MAE)
+	}
+}
+
+func TestAnalyzeNeverSettles(t *testing.T) {
+	pts := syntheticPoints()
+	for i := range pts {
+		pts[i].YLTrue = 0.5 // constant, outside the band
+	}
+	if m := Analyze(pts); m.SettlingTimeS >= 0 {
+		t.Fatalf("settling reported for an unsettled trace: %v", m.SettlingTimeS)
+	}
+	if m := Analyze(nil); m.SettlingTimeS >= 0 {
+		t.Fatal("empty trace settled")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rec := &Recorder{Points: syntheticPoints()}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rec.Points) {
+		t.Fatalf("round trip size %d vs %d", len(back), len(rec.Points))
+	}
+	for i := range back {
+		a, b := back[i], rec.Points[i]
+		if math.Abs(a.YLTrue-b.YLTrue) > 1e-4 || a.Sector != b.Sector ||
+			a.DetOK != b.DetOK || a.Setting.ISP != b.Setting.ISP || a.Setting.ROI != b.Setting.ROI {
+			t.Fatalf("point %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,2\n")); err == nil {
+		t.Fatal("wrong header accepted")
+	}
+	bad := "time_s,s_m,sector,yl_true,yl_meas,det_ok,steer,isp,roi,speed_kmph,h_ms,tau_ms\nx,0,1,0,0,true,0,S0,1,50,25,25\n"
+	if _, err := ReadCSV(bytes.NewBufferString(bad)); err == nil {
+		t.Fatal("malformed float accepted")
+	}
+}
+
+// TestRecorderWithSim wires the recorder into a real closed-loop run.
+func TestRecorderWithSim(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	rec := &Recorder{}
+	res, err := sim.Run(sim.Config{
+		Track:  world.SituationTrack(sit),
+		Camera: camera.Scaled(160, 80),
+		Case:   knobs.Case4,
+		Seed:   1,
+		Trace:  rec.Add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Points) != res.Frames {
+		t.Fatalf("recorded %d points for %d frames", len(rec.Points), res.Frames)
+	}
+	m := Analyze(rec.Points)
+	if m.DetectionAvailability < 0.9 {
+		t.Fatalf("availability = %v", m.DetectionAvailability)
+	}
+	if m.SettlingTimeS < 0 {
+		t.Fatal("straight-day run never settled")
+	}
+}

@@ -1,0 +1,191 @@
+// Package world models the driving environment the paper's LKAS operates
+// in: the situation taxonomy of Table I (lane type, road layout,
+// scene/weather), parametric tracks assembled from straight and arc
+// segments, the 21 evaluation situations of Table III, and the nine-sector
+// dynamic track of Fig. 7.
+//
+// The package substitutes the Webots world: it provides exact centerline
+// geometry (pose, curvature, world→track projection) that the synthetic
+// camera renders and the closed-loop simulator integrates against.
+package world
+
+import "fmt"
+
+// RoadLayout is the road-layout feature of a situation (Table I).
+type RoadLayout uint8
+
+// Road layouts.
+const (
+	Straight RoadLayout = iota
+	LeftTurn
+	RightTurn
+)
+
+func (l RoadLayout) String() string {
+	switch l {
+	case Straight:
+		return "straight"
+	case LeftTurn:
+		return "left"
+	case RightTurn:
+		return "right"
+	}
+	return fmt.Sprintf("RoadLayout(%d)", uint8(l))
+}
+
+// LaneColor is the color of a lane marking (Table I).
+type LaneColor uint8
+
+// Lane marking colors.
+const (
+	White LaneColor = iota
+	Yellow
+)
+
+func (c LaneColor) String() string {
+	switch c {
+	case White:
+		return "white"
+	case Yellow:
+		return "yellow"
+	}
+	return fmt.Sprintf("LaneColor(%d)", uint8(c))
+}
+
+// LaneForm is the form of a lane marking (Table I).
+type LaneForm uint8
+
+// Lane marking forms.
+const (
+	Continuous LaneForm = iota
+	Dotted
+	DoubleContinuous
+)
+
+func (f LaneForm) String() string {
+	switch f {
+	case Continuous:
+		return "continuous"
+	case Dotted:
+		return "dotted"
+	case DoubleContinuous:
+		return "double"
+	}
+	return fmt.Sprintf("LaneForm(%d)", uint8(f))
+}
+
+// Scene is the scene/weather feature of a situation (Table I).
+type Scene uint8
+
+// Scenes, ordered as in Table IV's scene classifier classes.
+const (
+	Day Scene = iota
+	Night
+	Dark
+	Dawn
+	Dusk
+)
+
+func (s Scene) String() string {
+	switch s {
+	case Day:
+		return "day"
+	case Night:
+		return "night"
+	case Dark:
+		return "dark"
+	case Dawn:
+		return "dawn"
+	case Dusk:
+		return "dusk"
+	}
+	return fmt.Sprintf("Scene(%d)", uint8(s))
+}
+
+// LaneMarking combines color and form of one painted marking.
+type LaneMarking struct {
+	Color LaneColor
+	Form  LaneForm
+}
+
+func (m LaneMarking) String() string { return m.Color.String() + " " + m.Form.String() }
+
+// Situation is a combination of environmental factors that potentially
+// influences closed-loop performance (Sec. III-A). As in the paper's
+// experiments (Sec. IV-A), the left marking varies per situation while the
+// right marking defaults to white dotted unless overridden on a segment.
+type Situation struct {
+	Layout RoadLayout
+	Lane   LaneMarking // left lane marking
+	Scene  Scene
+}
+
+func (s Situation) String() string {
+	return fmt.Sprintf("%s, %s, %s", s.Layout, s.Lane, s.Scene)
+}
+
+// NumRoadClasses, NumLaneClasses and NumSceneClasses are the class counts
+// of the three situation classifiers (Table IV).
+const (
+	NumRoadClasses  = 3 // straight, left turn, right turn
+	NumLaneClasses  = 4 // white continuous, white dotted, yellow continuous, yellow double
+	NumSceneClasses = 5 // day, night, dark, dawn, dusk
+)
+
+// LaneClass maps a left-lane marking to the lane classifier's class index
+// (Table IV: white continuous, white dotted, yellow continuous, yellow
+// double). The paper's classifier only covers these four combinations.
+func LaneClass(m LaneMarking) (int, bool) {
+	switch m {
+	case LaneMarking{White, Continuous}:
+		return 0, true
+	case LaneMarking{White, Dotted}:
+		return 1, true
+	case LaneMarking{Yellow, Continuous}:
+		return 2, true
+	case LaneMarking{Yellow, DoubleContinuous}:
+		return 3, true
+	}
+	return 0, false
+}
+
+// LaneMarkingForClass is the inverse of LaneClass.
+func LaneMarkingForClass(class int) LaneMarking {
+	switch class {
+	case 0:
+		return LaneMarking{White, Continuous}
+	case 1:
+		return LaneMarking{White, Dotted}
+	case 2:
+		return LaneMarking{Yellow, Continuous}
+	case 3:
+		return LaneMarking{Yellow, DoubleContinuous}
+	}
+	panic(fmt.Sprintf("world: invalid lane class %d", class))
+}
+
+// PaperSituations lists the 21 situations of Table III in order;
+// PaperSituations[0] is the paper's situation 1.
+var PaperSituations = []Situation{
+	{Straight, LaneMarking{White, Continuous}, Day},         // 1
+	{Straight, LaneMarking{White, Dotted}, Day},             // 2
+	{Straight, LaneMarking{Yellow, Continuous}, Day},        // 3
+	{Straight, LaneMarking{Yellow, DoubleContinuous}, Day},  // 4
+	{Straight, LaneMarking{White, Continuous}, Night},       // 5
+	{Straight, LaneMarking{Yellow, Continuous}, Night},      // 6
+	{Straight, LaneMarking{White, Continuous}, Dark},        // 7
+	{RightTurn, LaneMarking{White, Continuous}, Day},        // 8
+	{RightTurn, LaneMarking{Yellow, Continuous}, Day},       // 9
+	{RightTurn, LaneMarking{Yellow, DoubleContinuous}, Day}, // 10
+	{RightTurn, LaneMarking{White, Continuous}, Night},      // 11
+	{RightTurn, LaneMarking{Yellow, Continuous}, Night},     // 12
+	{RightTurn, LaneMarking{White, Dotted}, Day},            // 13
+	{RightTurn, LaneMarking{White, Dotted}, Night},          // 14
+	{LeftTurn, LaneMarking{White, Continuous}, Day},         // 15
+	{LeftTurn, LaneMarking{Yellow, Continuous}, Day},        // 16
+	{LeftTurn, LaneMarking{Yellow, DoubleContinuous}, Day},  // 17
+	{LeftTurn, LaneMarking{White, Continuous}, Night},       // 18
+	{LeftTurn, LaneMarking{Yellow, Continuous}, Night},      // 19
+	{LeftTurn, LaneMarking{White, Dotted}, Day},             // 20
+	{LeftTurn, LaneMarking{White, Dotted}, Night},           // 21
+}

@@ -1,0 +1,93 @@
+package world
+
+// Standard experiment geometry. The turns are tight test-circuit corners
+// (radius 18 m over 90 degrees): comfortable at the characterization's
+// 30 km/h turn speed but beyond the tire grip limit at the static
+// baseline's fixed 50 km/h — the physical mechanism behind the paper's
+// case-1 failures on turn sectors.
+const (
+	TurnRadius     = 25.0               // meters
+	TurnArcLength  = 25.0 * 3.14159 / 2 // 90 degrees
+	StraightLength = 100.0              // meters per straight sector
+	LeadInLength   = 30.0               // straight lead-in before a turn-only situation
+	RunOutLength   = 35.0               // straight run-out after a situation track's arc
+)
+
+// rightDotted is the default right-hand marking (Sec. IV-A).
+var rightDotted = LaneMarking{White, Dotted}
+
+// curvatureFor maps a road layout to the signed centerline curvature.
+func curvatureFor(layout RoadLayout) float64 {
+	switch layout {
+	case LeftTurn:
+		return 1 / TurnRadius
+	case RightTurn:
+		return -1 / TurnRadius
+	}
+	return 0
+}
+
+// SituationTrack builds a single-situation track used by the static
+// per-situation evaluation (Fig. 6) and the characterization sweep
+// (Table III). Turn situations get a straight lead-in (so the vehicle
+// enters the curve settled) and a straight run-out (so the end-of-track
+// margin never truncates the arc itself); both share the situation's
+// markings and scene. SituationEvalSector gives the sector to score.
+func SituationTrack(sit Situation) *Track {
+	if sit.Layout == Straight {
+		return NewTrack([]Segment{{
+			Length:    StraightLength,
+			Situation: sit,
+			RightLane: rightDotted,
+		}}, StandardLaneWidth)
+	}
+	straight := sit
+	straight.Layout = Straight
+	return NewTrack([]Segment{
+		{Length: LeadInLength, Situation: straight, RightLane: rightDotted},
+		{Length: TurnArcLength, Curvature: curvatureFor(sit.Layout), Situation: sit, RightLane: rightDotted},
+		{Length: RunOutLength, Situation: straight, RightLane: rightDotted},
+	}, StandardLaneWidth)
+}
+
+// SituationEvalSector returns the 1-based sector of a SituationTrack that
+// carries the situation under evaluation.
+func SituationEvalSector(sit Situation) int {
+	if sit.Layout == Straight {
+		return 1
+	}
+	return 2
+}
+
+// NineSectorTrack builds the Fig. 7 dynamic-switching case study: nine
+// sectors covering road-layout changes, lane type & color changes, and the
+// night→dark scene transition from sector 8 to 9. Sector 6 has both lane
+// markings dotted (the hardest sector in the paper's Fig. 8 discussion).
+func NineSectorTrack() *Track {
+	mk := func(layout RoadLayout, lane LaneMarking, scene Scene, right LaneMarking) Segment {
+		length := StraightLength
+		if layout != Straight {
+			length = TurnArcLength
+		}
+		return Segment{
+			Length:    length,
+			Curvature: curvatureFor(layout),
+			Situation: Situation{Layout: layout, Lane: lane, Scene: scene},
+			RightLane: right,
+		}
+	}
+	return NewTrack([]Segment{
+		mk(Straight, LaneMarking{White, Continuous}, Day, rightDotted),    // 1
+		mk(RightTurn, LaneMarking{White, Continuous}, Day, rightDotted),   // 2
+		mk(Straight, LaneMarking{Yellow, Continuous}, Day, rightDotted),   // 3
+		mk(LeftTurn, LaneMarking{White, Dotted}, Day, rightDotted),        // 4
+		mk(Straight, LaneMarking{White, Dotted}, Day, rightDotted),        // 5
+		mk(RightTurn, LaneMarking{White, Dotted}, Day, rightDotted),       // 6 (both dotted)
+		mk(Straight, LaneMarking{Yellow, Continuous}, Night, rightDotted), // 7
+		mk(RightTurn, LaneMarking{White, Continuous}, Night, rightDotted), // 8
+		mk(Straight, LaneMarking{White, Continuous}, Dark, rightDotted),   // 9
+	}, StandardLaneWidth)
+}
+
+// NumSectors is the sector count of the Fig. 7 track.
+const NumSectors = 9
