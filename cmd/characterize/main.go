@@ -15,6 +15,7 @@ import (
 	"hsas/internal/camera"
 	"hsas/internal/core"
 	"hsas/internal/knobs"
+	"hsas/internal/obs"
 	"hsas/internal/world"
 )
 
@@ -28,12 +29,29 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-run progress")
 	sensitivity := flag.Bool("sensitivity", false, "run the Monte-Carlo knob screening of Sec. III-B instead")
 	samples := flag.Int("samples", 24, "Monte-Carlo samples per situation (with -sensitivity)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs); results are identical either way")
+	logLevel := flag.String("log-level", "", "enable structured sweep logging at this level: debug, info, warn or error")
+	metricsOut := flag.String("metrics-out", "", "after the sweep, dump Prometheus text exposition to this file ('-' for stderr)")
 	flag.Parse()
 
 	cfg := core.CharacterizeConfig{
 		Camera:       camera.Scaled(*width, *height),
 		Seed:         *seed,
 		FullROISweep: *full,
+		Workers:      *workers,
+	}
+	var reg *obs.Registry
+	if *logLevel != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = &obs.Observer{Metrics: reg}
+		if *logLevel != "" {
+			lvl, err := obs.ParseLevel(*logLevel)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -log-level %q: %v\n", *logLevel, err)
+				os.Exit(2)
+			}
+			cfg.Obs.Log = obs.NewLogger(os.Stderr, lvl)
+		}
 	}
 	if *situations != "" {
 		for _, tok := range strings.Split(*situations, ",") {
@@ -82,6 +100,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Println("Regenerated Table III (this substrate):")
 	fmt.Print(res.FormatTable())
 
@@ -91,4 +116,21 @@ func main() {
 		fmt.Printf("%-4d %-38s %-5s ROI %d [%g, %g, %g]\n",
 			i+1, row.Situation.String(), row.ISP, row.ROI, row.SpeedKmph, row.HMs, row.TauMs)
 	}
+}
+
+// dumpMetrics writes the sweep's Prometheus exposition to path, or to
+// stderr for "-".
+func dumpMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = reg.WritePrometheus(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

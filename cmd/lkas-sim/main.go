@@ -2,6 +2,13 @@
 // (or the Sec. IV-E variable invocation scheme) on a single-situation
 // track or the nine-sector dynamic case study of Fig. 7, printing
 // per-sector QoC and the crash outcome.
+//
+// Observability: -log-level enables structured logging, -metrics-addr
+// serves Prometheus text exposition at /metrics (plus expvar at
+// /debug/vars) for the duration of the run, and -trace-out records one
+// span per pipeline stage per control cycle to a Chrome trace-event
+// JSON file (open it in Perfetto / chrome://tracing) or, with a .jsonl
+// extension, to JSON lines.
 package main
 
 import (
@@ -9,9 +16,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"hsas/internal/camera"
 	"hsas/internal/knobs"
+	"hsas/internal/obs"
 	"hsas/internal/sim"
 	"hsas/internal/world"
 )
@@ -23,6 +32,9 @@ func main() {
 	height := flag.Int("height", 256, "camera height")
 	seed := flag.Int64("seed", 1, "noise seed")
 	trace := flag.Bool("trace", false, "print one line per control cycle")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address during the run (e.g. :9090)")
+	traceOut := flag.String("trace-out", "", "write per-stage spans to this file (Chrome trace-event JSON; a .jsonl extension selects JSON lines)")
+	logLevel := flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error")
 	flag.Parse()
 
 	var c knobs.Case
@@ -49,11 +61,43 @@ func main() {
 		track = world.SituationTrack(world.PaperSituations[i-1])
 	}
 
+	// Observability wiring: any of the three flags enables the Observer;
+	// the metrics registry always rides along so a trace or log run can
+	// still be inspected via expvar.
+	var observer *obs.Observer
+	var tracer *obs.Tracer
+	if *metricsAddr != "" || *traceOut != "" || *logLevel != "" {
+		observer = &obs.Observer{Metrics: obs.NewRegistry()}
+		observer.Metrics.PublishExpvar("hsas")
+		if *logLevel != "" {
+			lvl, err := obs.ParseLevel(*logLevel)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -log-level %q: %v\n", *logLevel, err)
+				os.Exit(2)
+			}
+			observer.Log = obs.NewLogger(os.Stderr, lvl)
+		}
+		if *traceOut != "" {
+			tracer = obs.NewTracer()
+			observer.Trace = tracer
+		}
+		if *metricsAddr != "" {
+			srv, err := obs.StartServer(*metricsAddr, observer.Metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "serving metrics at http://%s/metrics (expvar at /debug/vars)\n", srv.Addr())
+		}
+	}
+
 	cfg := sim.Config{
 		Track:  track,
 		Camera: camera.Scaled(*width, *height),
 		Case:   c,
 		Seed:   *seed,
+		Obs:    observer,
 	}
 	if *trace {
 		cfg.Trace = func(p sim.TracePoint) {
@@ -66,6 +110,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sim:", err)
 		os.Exit(1)
+	}
+
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Len(), *traceOut)
 	}
 
 	fmt.Printf("%v on %s track (%dx%d, seed %d)\n", c, *trackName, *width, *height, *seed)
@@ -84,4 +136,22 @@ func main() {
 		os.Exit(3)
 	}
 	fmt.Println("  completed without failure")
+}
+
+// writeTrace persists the recorded spans: Chrome trace-event JSON by
+// default, JSON lines for .jsonl paths.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tracer.WriteJSONL(f)
+	} else {
+		err = tracer.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

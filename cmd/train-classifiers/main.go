@@ -16,6 +16,7 @@ import (
 
 	"hsas/internal/classifier"
 	"hsas/internal/cnn"
+	"hsas/internal/obs"
 )
 
 func main() {
@@ -24,7 +25,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset and init seed")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's Table IV dataset sizes")
 	out := flag.String("out", "", "directory to save trained models (gob)")
+	logLevel := flag.String("log-level", "", "enable per-epoch structured logging at this level: debug, info, warn or error")
 	flag.Parse()
+
+	var observer *obs.Observer
+	if *logLevel != "" {
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -log-level %q: %v\n", *logLevel, err)
+			os.Exit(2)
+		}
+		observer = &obs.Observer{Log: obs.NewLogger(os.Stderr, lvl)}
+	}
 
 	fmt.Println("Table IV — situation classifiers")
 	fmt.Printf("%-7s %8s %6s %6s %10s %10s %12s %9s\n",
@@ -44,7 +56,7 @@ func main() {
 		tcfg.Seed = *seed
 
 		start := time.Now()
-		c, rep, err := classifier.Train(kind, dcfg, tcfg)
+		c, rep, err := classifier.TrainObserved(kind, dcfg, tcfg, observer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "train:", err)
 			os.Exit(1)

@@ -44,6 +44,7 @@ import (
 	"hsas/internal/core"
 	"hsas/internal/isp"
 	"hsas/internal/knobs"
+	"hsas/internal/obs"
 	"hsas/internal/perception"
 	"hsas/internal/platform"
 	"hsas/internal/scheduler"
@@ -281,3 +282,32 @@ type (
 // AnalyzeTrace computes the transient and steady-state metrics of a
 // recorded run.
 var AnalyzeTrace = trace.Analyze
+
+// Observability (stdlib-only metrics, tracing and structured logging).
+type (
+	// Observer bundles the optional telemetry sinks; set SimConfig.Obs or
+	// CharacterizeConfig.Obs to attach it. A nil Observer disables all
+	// instrumentation at negligible cost.
+	Observer = obs.Observer
+	// MetricsRegistry collects counters, gauges and histograms and writes
+	// Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// SpanTracer records per-stage spans exportable as Chrome trace-event
+	// JSON (Perfetto-loadable) or JSON lines.
+	SpanTracer = obs.Tracer
+	// MetricsServer serves /metrics and /debug/vars over HTTP.
+	MetricsServer = obs.Server
+)
+
+// NewMetricsRegistry, NewSpanTracer and StartMetricsServer build the
+// telemetry sinks; NewObsLogger wraps a writer in a leveled slog logger
+// and ParseLogLevel parses "debug"/"info"/"warn"/"error";
+// TrainClassifierObserved is TrainClassifier with per-epoch telemetry.
+var (
+	NewMetricsRegistry      = obs.NewRegistry
+	NewSpanTracer           = obs.NewTracer
+	StartMetricsServer      = obs.StartServer
+	NewObsLogger            = obs.NewLogger
+	ParseLogLevel           = obs.ParseLevel
+	TrainClassifierObserved = classifier.TrainObserved
+)

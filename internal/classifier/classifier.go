@@ -14,6 +14,7 @@ import (
 	"hsas/internal/camera"
 	"hsas/internal/cnn"
 	"hsas/internal/isp"
+	"hsas/internal/obs"
 	"hsas/internal/raster"
 	"hsas/internal/world"
 )
@@ -261,21 +262,64 @@ type Report struct {
 // Train generates a dataset, trains a ResNetLite and returns the
 // classifier plus its report.
 func Train(kind Kind, dcfg DatasetConfig, tcfg cnn.TrainConfig) (*Classifier, Report, error) {
+	return TrainObserved(kind, dcfg, tcfg, nil)
+}
+
+// TrainObserved is Train with observability: per-epoch loss/accuracy is
+// logged on o.Log (chaining any existing tcfg.Log callback) and gauged
+// in o.Metrics, and dataset generation, fitting and evaluation each get
+// a trace span. A nil observer is exactly Train.
+func TrainObserved(kind Kind, dcfg DatasetConfig, tcfg cnn.TrainConfig, o *obs.Observer) (*Classifier, Report, error) {
+	reg := o.Registry()
+	if o.Enabled() {
+		epochC := reg.Counter("hsas_train_epochs_total", "training epochs completed", obs.L("classifier", kind.String()))
+		lossG := reg.Gauge("hsas_train_loss", "last epoch mean training loss", obs.L("classifier", kind.String()))
+		accG := reg.Gauge("hsas_train_accuracy", "last epoch training accuracy", obs.L("classifier", kind.String()))
+		prev := tcfg.Log
+		tcfg.Log = func(epoch int, loss, acc float64) {
+			epochC.Inc()
+			lossG.Set(loss)
+			accG.Set(acc)
+			o.Logger().Info("train epoch", "classifier", kind.String(), "epoch", epoch, "loss", loss, "accuracy", acc)
+			if prev != nil {
+				prev(epoch, loss, acc)
+			}
+		}
+	}
+
+	start := o.Tracer().Begin()
 	samples := Generate(kind, dcfg)
+	o.Tracer().Span("generate", "classifier", 0, start,
+		map[string]any{"classifier": kind.String(), "samples": len(samples)})
+
 	train, val := Split(samples, 0.12, dcfg.Seed+100)
 	net, err := cnn.ResNetLite(3, dcfg.InH, dcfg.InW, kind.NumClasses(), dcfg.Seed+200)
 	if err != nil {
 		return nil, Report{}, err
 	}
+	start = o.Tracer().Begin()
 	_, trainAcc := net.Fit(train, tcfg)
+	o.Tracer().Span("fit", "classifier", 0, start,
+		map[string]any{"classifier": kind.String(), "epochs": tcfg.Epochs, "train_n": len(train)})
+
+	start = o.Tracer().Begin()
+	valAcc := net.Evaluate(val)
+	o.Tracer().Span("evaluate", "classifier", 0, start,
+		map[string]any{"classifier": kind.String(), "val_n": len(val)})
+
 	rep := Report{
 		Kind:          kind,
 		TrainN:        len(train),
 		ValN:          len(val),
 		TrainAccuracy: trainAcc,
-		ValAccuracy:   net.Evaluate(val),
+		ValAccuracy:   valAcc,
 		Params:        net.NumParams(),
 	}
+	reg.Gauge("hsas_train_val_accuracy", "validation accuracy of the trained classifier",
+		obs.L("classifier", kind.String())).Set(valAcc)
+	o.Logger().Info("classifier trained",
+		"classifier", kind.String(), "train_n", rep.TrainN, "val_n", rep.ValN,
+		"train_accuracy", rep.TrainAccuracy, "val_accuracy", rep.ValAccuracy, "params", rep.Params)
 	return &Classifier{Kind: kind, Net: net, InW: dcfg.InW, InH: dcfg.InH, WhiteBalance: dcfg.WhiteBalance}, rep, nil
 }
 

@@ -1,0 +1,59 @@
+package classifier
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"hsas/internal/cnn"
+	"hsas/internal/obs"
+)
+
+// TestTrainObserved checks the per-epoch logging and metrics wiring at a
+// tiny training scale, including chaining of a pre-existing Log
+// callback.
+func TestTrainObserved(t *testing.T) {
+	dcfg := DatasetConfig{N: 60, InW: 24, InH: 12, Seed: 1, ISPConfig: "S0"}
+	tcfg := cnn.DefaultTrainConfig()
+	tcfg.Epochs = 3
+	chained := 0
+	tcfg.Log = func(int, float64, float64) { chained++ }
+
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	o := &obs.Observer{
+		Log:     obs.NewLogger(&logBuf, slog.LevelInfo),
+		Metrics: reg,
+		Trace:   obs.NewTracer(),
+	}
+	_, rep, err := TrainObserved(Road, dcfg, tcfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrainN == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if chained != tcfg.Epochs {
+		t.Fatalf("chained Log callback ran %d times, want %d", chained, tcfg.Epochs)
+	}
+	if got := reg.Counter("hsas_train_epochs_total", "", obs.L("classifier", "road")).Value(); got != int64(tcfg.Epochs) {
+		t.Fatalf("epoch counter = %d, want %d", got, tcfg.Epochs)
+	}
+	if acc := reg.Gauge("hsas_train_val_accuracy", "", obs.L("classifier", "road")).Value(); acc != rep.ValAccuracy {
+		t.Fatalf("val accuracy gauge = %v, want %v", acc, rep.ValAccuracy)
+	}
+	logs := logBuf.String()
+	if strings.Count(logs, "train epoch") != tcfg.Epochs || !strings.Contains(logs, "classifier trained") {
+		t.Fatalf("training logs wrong:\n%s", logs)
+	}
+	names := map[string]bool{}
+	for _, s := range o.Trace.Spans() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"generate", "fit", "evaluate"} {
+		if !names[want] {
+			t.Fatalf("missing %q span; have %v", want, names)
+		}
+	}
+}

@@ -166,7 +166,8 @@ type TrainConfig struct {
 	Momentum    float64
 	WeightDecay float64
 	Seed        int64
-	// LogEvery, when positive, invokes Log at that epoch interval.
+	// Log, when set, is invoked after every epoch with the epoch's mean
+	// loss and training accuracy.
 	Log func(epoch int, loss float64, acc float64)
 }
 

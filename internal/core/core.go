@@ -20,13 +20,17 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"hsas/internal/camera"
 	"hsas/internal/control"
 	"hsas/internal/knobs"
 	"hsas/internal/mat"
+	"hsas/internal/obs"
 	"hsas/internal/perception"
 	"hsas/internal/platform"
 	"hsas/internal/sim"
@@ -49,8 +53,19 @@ type CharacterizeConfig struct {
 	// 256×128 (the sweep is hundreds of runs; Fig. 6/8 use full size).
 	Camera camera.Camera
 	Seed   int64
-	// Progress, when set, receives one line per completed run.
+	// Progress, when set, receives one line per completed run. Calls are
+	// serialized even when the sweep runs on multiple workers.
 	Progress func(string)
+	// Workers bounds the parallel closed-loop evaluations within each
+	// situation; 0 uses GOMAXPROCS. The result is deterministic
+	// regardless of worker count (only Progress ordering varies).
+	Workers int
+	// Obs, when set, receives sweep progress logs, per-run spans on one
+	// trace lane per worker, run counters/latency histograms and a
+	// busy-worker utilization gauge. The inner closed-loop runs share
+	// the metrics registry (stage histograms) but stay out of the span
+	// stream, which tracks the sweep itself.
+	Obs *obs.Observer
 }
 
 // Candidate is one evaluated knob setting for a situation.
@@ -104,7 +119,10 @@ func (r *Result) FormatTable() string {
 // Characterize runs the design-time sweep: for every situation, evaluate
 // the candidate knob settings in closed loop (with the full three-
 // classifier pipeline charged to the timing, as the runtime will pay it)
-// and keep the setting with the best QoC.
+// and keep the setting with the best QoC. Candidates within a situation
+// are evaluated on cfg.Workers parallel workers; the outcome is
+// identical to the serial sweep because candidates are scored
+// independently and re-assembled in enumeration order.
 func Characterize(cfg CharacterizeConfig) (*Result, error) {
 	if cfg.Situations == nil {
 		cfg.Situations = world.PaperSituations
@@ -115,52 +133,140 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 	if cfg.Camera.Width == 0 {
 		cfg.Camera = camera.Scaled(256, 128)
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	xavier := platform.Xavier()
+
+	o := cfg.Obs
+	reg := o.Registry()
+	runsC := reg.Counter("hsas_characterize_runs_total", "closed-loop sweep runs completed")
+	crashC := reg.Counter("hsas_characterize_crashes_total", "sweep runs that crashed (penalized)")
+	runH := reg.Histogram("hsas_characterize_run_seconds", "wall time per sweep run",
+		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60})
+	busyG := reg.Gauge("hsas_characterize_busy_workers", "sweep workers currently evaluating a candidate")
+	// The inner sim runs share the metrics registry (populating the
+	// per-stage latency histograms under sweep load) but not the span
+	// stream or logger, which track the sweep itself.
+	var inner *obs.Observer
+	if o.Enabled() && o.Metrics != nil {
+		inner = &obs.Observer{Metrics: o.Metrics}
+	}
 
 	res := &Result{}
 	for _, sit := range cfg.Situations {
+		sit := sit
 		track := world.SituationTrack(sit)
 		evalSector := world.SituationEvalSector(sit)
+		settings := candidateSettings(sit, cfg)
 
-		var cands []Candidate
-		for _, setting := range candidateSettings(sit, cfg) {
-			timing, err := xavier.TimingFor(setting.ISP, 3)
+		sitStart := o.Tracer().Begin()
+		cands := make([]Candidate, len(settings))
+		errs := make([]error, len(settings))
+		var mu sync.Mutex // serializes Progress and log emission
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		n := workers
+		if n > len(settings) {
+			n = len(settings)
+		}
+		for w := 0; w < n; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					setting := settings[i]
+					var start time.Time
+					if o.Enabled() {
+						start = time.Now()
+					}
+					busyG.Add(1)
+					c, err := evalCandidate(cfg, xavier, inner, track, evalSector, setting)
+					busyG.Add(-1)
+					cands[i], errs[i] = c, err
+					if err != nil {
+						errs[i] = fmt.Errorf("core: characterize %v with %v: %w", sit, setting, err)
+						continue
+					}
+					runsC.Inc()
+					if c.Crashed {
+						crashC.Inc()
+					}
+					if o.Enabled() {
+						runH.Observe(time.Since(start).Seconds())
+						o.Tracer().Span("run", "characterize", w+1, start, map[string]any{
+							"situation": sit.String(), "isp": setting.ISP, "roi": setting.ROI,
+							"speed_kmph": setting.SpeedKmph, "mae_m": c.MAE, "crashed": c.Crashed,
+						})
+					}
+					mu.Lock()
+					if cfg.Progress != nil {
+						cfg.Progress(fmt.Sprintf("%v | %v -> MAE %.4f crashed=%v", sit, setting, c.MAE, c.Crashed))
+					}
+					o.Logger().Debug("characterize run",
+						"situation", sit.String(), "isp", setting.ISP, "roi", setting.ROI,
+						"speed_kmph", setting.SpeedKmph, "mae_m", c.MAE, "crashed", c.Crashed)
+					mu.Unlock()
+				}
+			}()
+		}
+		for i := range settings {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			setting := setting
-			run, err := sim.Run(sim.Config{
-				Track:            track,
-				Camera:           cfg.Camera,
-				Seed:             cfg.Seed,
-				FixedSetting:     &setting,
-				FixedClassifiers: 3,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: characterize %v with %v: %w", sit, setting, err)
-			}
-			c := Candidate{
-				Setting: setting,
-				MAE:     run.PerSector.Sector(evalSector),
-				Crashed: run.Crashed,
-				HMs:     timing.HMs,
-				TauMs:   timing.TauMs,
-			}
-			// A crashed run records the MAE up to the crash, which can
-			// be deceptively small; penalize it out of contention.
-			if run.Crashed || c.MAE == 0 {
-				c.MAE = run.MAE + 10
-				c.Crashed = true
-			}
-			cands = append(cands, c)
-			if cfg.Progress != nil {
-				cfg.Progress(fmt.Sprintf("%v | %v -> MAE %.4f crashed=%v", sit, setting, c.MAE, c.Crashed))
-			}
 		}
+
 		sort.SliceStable(cands, func(i, j int) bool { return cands[i].MAE < cands[j].MAE })
 		res.Entries = append(res.Entries, Entry{Situation: sit, Best: cands[0], Candidates: cands})
+		o.Tracer().Span("situation", "characterize", 0, sitStart,
+			map[string]any{"situation": sit.String(), "candidates": len(cands)})
+		o.Logger().Info("situation characterized",
+			"situation", sit.String(), "candidates", len(cands), "workers", n,
+			"best_isp", cands[0].Setting.ISP, "best_roi", cands[0].Setting.ROI,
+			"best_speed_kmph", cands[0].Setting.SpeedKmph, "best_mae_m", cands[0].MAE)
 	}
 	return res, nil
+}
+
+// evalCandidate scores one knob setting for one situation in closed loop.
+func evalCandidate(cfg CharacterizeConfig, xavier platform.Platform, inner *obs.Observer,
+	track *world.Track, evalSector int, setting knobs.Setting) (Candidate, error) {
+	timing, err := xavier.TimingFor(setting.ISP, 3)
+	if err != nil {
+		return Candidate{}, err
+	}
+	run, err := sim.Run(sim.Config{
+		Track:            track,
+		Camera:           cfg.Camera,
+		Seed:             cfg.Seed,
+		FixedSetting:     &setting,
+		FixedClassifiers: 3,
+		Obs:              inner,
+	})
+	if err != nil {
+		return Candidate{}, err
+	}
+	c := Candidate{
+		Setting: setting,
+		MAE:     run.PerSector.Sector(evalSector),
+		Crashed: run.Crashed,
+		HMs:     timing.HMs,
+		TauMs:   timing.TauMs,
+	}
+	// A crashed run records the MAE up to the crash, which can be
+	// deceptively small; penalize it out of contention.
+	if run.Crashed || c.MAE == 0 {
+		c.MAE = run.MAE + 10
+		c.Crashed = true
+	}
+	return c, nil
 }
 
 // candidateSettings enumerates the knob space for one situation. The

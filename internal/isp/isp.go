@@ -13,8 +13,10 @@ package isp
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"hsas/internal/camera"
+	"hsas/internal/obs"
 	"hsas/internal/raster"
 )
 
@@ -122,6 +124,48 @@ func (c Config) Process(raw *raster.Bayer) *raster.RGB {
 	}
 	if c.Has(ToneMap) {
 		ApplyToneMap(img)
+	}
+	return img
+}
+
+// ProcessObserved behaves exactly like Process and additionally records
+// one wall-time histogram sample and one trace span per executed stage
+// (the per-stage timings Table II profiles per configuration). With a
+// nil observer it falls through to the uninstrumented path.
+func (c Config) ProcessObserved(raw *raster.Bayer, o *obs.Observer) *raster.RGB {
+	if !o.Enabled() {
+		return c.Process(raw)
+	}
+	reg, tr := o.Registry(), o.Tracer()
+	stage := func(s Stage, start time.Time) {
+		d := time.Since(start)
+		reg.Histogram("hsas_isp_stage_seconds", "wall time per executed ISP stage",
+			obs.DefBuckets, obs.L("stage", s.String()), obs.L("config", c.ID)).Observe(d.Seconds())
+		tr.Span(s.String(), "isp", 0, start, map[string]any{"config": c.ID})
+	}
+
+	start := time.Now()
+	img := DemosaicBilinear(raw)
+	stage(Demosaic, start)
+	if c.Has(Denoise) {
+		start = time.Now()
+		img = DenoiseBilateral(img)
+		stage(Denoise, start)
+	}
+	if c.Has(ColorMap) {
+		start = time.Now()
+		ApplyColorMap(img)
+		stage(ColorMap, start)
+	}
+	if c.Has(GamutMap) {
+		start = time.Now()
+		ApplyGamutMap(img)
+		stage(GamutMap, start)
+	}
+	if c.Has(ToneMap) {
+		start = time.Now()
+		ApplyToneMap(img)
+		stage(ToneMap, start)
 	}
 	return img
 }

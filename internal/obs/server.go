@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the optional observability HTTP listener: /metrics serves
+// the registry as Prometheus text exposition and /debug/vars serves the
+// process expvars (including the registry when PublishExpvar was called).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves
+// the registry until Close. It returns once the listener is bound, so
+// Addr is immediately scrapeable.
+func StartServer(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" ports).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

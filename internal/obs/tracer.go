@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one trace event in the Chrome trace-event format: a complete
+// duration event (Phase "X") or an instant event (Phase "i"). Timestamps
+// and durations are microseconds since the tracer's epoch.
+type Span struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope ("t")
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer accumulates spans from a run. All methods are safe for
+// concurrent use and nil-safe (a nil *Tracer discards everything), so
+// instrumented code can call through unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Span
+}
+
+// NewTracer returns a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// Begin returns the wall-clock start for a span about to be measured
+// (zero when the tracer is nil, so disabled paths skip the clock read by
+// guarding on Observer.Enabled instead).
+func (t *Tracer) Begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Span records a complete duration event from start to now on the given
+// thread lane (tid groups spans into rows in Perfetto; use 0 for the
+// main loop, 1..n for workers).
+func (t *Tracer) Span(name, cat string, tid int, start time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.SpanAt(name, cat, tid, start, time.Now(), args)
+}
+
+// SpanAt records a complete duration event with an explicit end time,
+// for callers that batch span emission after measuring several stages.
+func (t *Tracer) SpanAt(name, cat string, tid int, start, end time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(Span{
+		Name: name, Cat: cat, Phase: "X",
+		TS:  start.Sub(t.epoch).Microseconds(),
+		Dur: end.Sub(start).Microseconds(),
+		PID: 1, TID: tid + 1,
+		Args: args,
+	})
+}
+
+// Instant records a zero-duration event at now.
+func (t *Tracer) Instant(name, cat string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(Span{
+		Name: name, Cat: cat, Phase: "i", Scope: "t",
+		TS:  time.Since(t.epoch).Microseconds(),
+		PID: 1, TID: tid + 1,
+		Args: args,
+	})
+}
+
+func (t *Tracer) add(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// chromeTrace is the JSON object format of the Chrome trace-event
+// specification, loadable in Perfetto and chrome://tracing.
+type chromeTrace struct {
+	TraceEvents     []Span `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the spans as Chrome trace-event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: spans, DisplayTimeUnit: "ms"})
+}
+
+// WriteJSONL serializes the spans as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

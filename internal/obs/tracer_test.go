@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	start := tr.Begin()
+	time.Sleep(time.Millisecond)
+	tr.Span("isp", "sim", 0, start, map[string]any{"config": "S3"})
+	tr.Instant("actuate", "sim", 0, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   int64          `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != 2 || decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	span := decoded.TraceEvents[0]
+	if span.Name != "isp" || span.Phase != "X" || span.Dur < 900 {
+		t.Fatalf("span = %+v", span)
+	}
+	if span.Args["config"] != "S3" {
+		t.Fatalf("span args = %v", span.Args)
+	}
+	if inst := decoded.TraceEvents[1]; inst.Phase != "i" || inst.TS < span.TS {
+		t.Fatalf("instant = %+v", inst)
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 3; i++ {
+		tr.Span("stage", "cat", i, tr.Begin(), nil)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if s.Name != "stage" {
+			t.Fatalf("line %d = %+v", lines, s)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("JSONL lines = %d", lines)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Span("s", "c", w, tr.Begin(), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != workers*each {
+		t.Fatalf("spans = %d, want %d", tr.Len(), workers*each)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"INFO":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestNewLoggerWritesText(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo)
+	log.Debug("hidden")
+	log.Info("cycle", "frame", 3)
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "frame=3") {
+		t.Fatalf("logger output = %q", out)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"time"
+
+	"hsas/internal/knobs"
+	"hsas/internal/obs"
+)
+
+// Pipeline stage names, in execution order, used for the per-cycle stage
+// spans and the hsas_sim_stage_seconds histogram labels. "render" is the
+// synthetic camera, "classify" covers situation identification plus knob
+// selection, "detect" the perception ROI + sliding-window search, and
+// "control" the gating + LQR step + actuation scheduling.
+var stageNames = [5]string{"render", "isp", "classify", "detect", "control"}
+
+// simMetrics holds the pre-registered instruments for one run; a nil
+// *simMetrics disables all instrumentation (the default).
+type simMetrics struct {
+	o           *obs.Observer
+	cycles      *obs.Counter
+	detectFails *obs.Counter
+	reconfigs   *obs.Counter
+	crashes     *obs.Counter
+	progressM   *obs.Gauge
+	speedKmph   *obs.Gauge
+	stages      [len(stageNames)]*obs.Histogram
+}
+
+func newSimMetrics(o *obs.Observer) *simMetrics {
+	reg := o.Registry()
+	m := &simMetrics{
+		o:           o,
+		cycles:      reg.Counter("hsas_sim_cycles_total", "control cycles executed"),
+		detectFails: reg.Counter("hsas_sim_detect_fail_total", "cycles without a usable perception measurement"),
+		reconfigs:   reg.Counter("hsas_sim_reconfig_total", "runtime knob-setting changes applied"),
+		crashes:     reg.Counter("hsas_sim_crashes_total", "runs ended by a crash"),
+		progressM:   reg.Gauge("hsas_sim_progress_m", "arclength progressed along the track"),
+		speedKmph:   reg.Gauge("hsas_sim_speed_kmph", "current knob speed"),
+	}
+	for i, n := range stageNames {
+		m.stages[i] = reg.Histogram("hsas_sim_stage_seconds",
+			"wall time per pipeline stage per control cycle", obs.DefBuckets, obs.L("stage", n))
+	}
+	return m
+}
+
+// cycle records one completed control cycle: the five stage latencies
+// (ts holds the six stage boundaries), the cycle counters and gauges,
+// and one span per stage plus an enclosing "cycle" span carrying the
+// knob-setting attributes.
+func (m *simMetrics) cycle(ts *[len(stageNames) + 1]time.Time, frame, sector int,
+	simTMs, s float64, setting knobs.Setting, hMs, tauMs float64, detOK, measOK, reconfigured bool) {
+	m.cycles.Inc()
+	m.progressM.Set(s)
+	m.speedKmph.Set(setting.SpeedKmph)
+	if !measOK {
+		m.detectFails.Inc()
+	}
+	if reconfigured {
+		m.reconfigs.Inc()
+	}
+	for i := range stageNames {
+		m.stages[i].Observe(ts[i+1].Sub(ts[i]).Seconds())
+	}
+	if tr := m.o.Tracer(); tr != nil {
+		for i, n := range stageNames {
+			tr.SpanAt(n, "sim", 0, ts[i], ts[i+1], nil)
+		}
+		tr.SpanAt("cycle", "sim", 0, ts[0], ts[len(stageNames)], map[string]any{
+			"frame": frame, "sector": sector, "sim_t_ms": simTMs,
+			"isp": setting.ISP, "roi": setting.ROI, "speed_kmph": setting.SpeedKmph,
+			"h_ms": hMs, "tau_ms": tauMs, "det_ok": detOK, "reconfigured": reconfigured,
+		})
+	}
+	m.o.Logger().Debug("cycle",
+		"frame", frame, "sector", sector, "sim_t_ms", simTMs,
+		"isp", setting.ISP, "roi", setting.ROI, "speed_kmph", setting.SpeedKmph,
+		"det_ok", detOK, "reconfigured", reconfigured)
+}
+
+// actuate records the delayed command application as an instant event.
+func (m *simMetrics) actuate(simTMs, steer float64) {
+	m.o.Tracer().Instant("actuate", "sim", 0, map[string]any{"sim_t_ms": simTMs, "steer": steer})
+}

@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"hsas/internal/camera"
 	"hsas/internal/classifier"
@@ -21,6 +22,7 @@ import (
 	"hsas/internal/isp"
 	"hsas/internal/knobs"
 	"hsas/internal/metrics"
+	"hsas/internal/obs"
 	"hsas/internal/perception"
 	"hsas/internal/platform"
 	"hsas/internal/raster"
@@ -105,6 +107,13 @@ type Config struct {
 
 	// Trace, when set, receives one sample per control cycle.
 	Trace func(TracePoint)
+
+	// Obs, when set, enables observability: per-stage latency histograms
+	// and counters in Obs.Metrics, one span per pipeline stage per
+	// control cycle in Obs.Trace, and structured progress logs on
+	// Obs.Log. The nil default is a no-op with near-zero overhead
+	// (BenchmarkSimRunInstrumented).
+	Obs *obs.Observer
 }
 
 // TracePoint is one control-cycle sample for debugging and plots.
@@ -190,7 +199,23 @@ func Run(cfg Config) (*Result, error) {
 	det := perception.NewDetector(perception.NewGeometry(cfg.Camera))
 
 	r := &runner{cfg: cfg, rend: rend, det: det, designs: map[designKey]*control.Design{}}
-	return r.run()
+	if cfg.Obs.Enabled() {
+		r.met = newSimMetrics(cfg.Obs)
+		cfg.Obs.Logger().Info("sim run start",
+			"case", cfg.Case.String(), "track_m", cfg.Track.Length(),
+			"camera", fmt.Sprintf("%dx%d", cfg.Camera.Width, cfg.Camera.Height), "seed", cfg.Seed)
+	}
+	res, err := r.run()
+	if err == nil && cfg.Obs.Enabled() {
+		if res.Crashed {
+			r.met.crashes.Inc()
+		}
+		cfg.Obs.Logger().Info("sim run complete",
+			"frames", res.Frames, "mae_m", res.MAE, "completed_m", res.CompletedS,
+			"detect_fails", res.DetectFails, "crashed", res.Crashed,
+			"reconfigurations", len(res.SettingsUsed)-1)
+	}
+	return res, err
 }
 
 type designKey struct {
@@ -204,6 +229,7 @@ type runner struct {
 	rend    *camera.Renderer
 	det     *perception.Detector
 	designs map[designKey]*control.Design
+	met     *simMetrics // nil when observability is disabled
 }
 
 // belief is the runtime's current view of the situation, updated by the
@@ -294,11 +320,24 @@ func (r *runner) run() (*Result, error) {
 		// exactly on the next sampling instant) ----
 		if t >= actT-1e-9 {
 			plant.Command(actU)
+			if r.met != nil {
+				r.met.actuate(t, actU)
+			}
 			actT = math.Inf(1)
 		}
 
 		// ---- Sensing pipeline at the sampling instants ----
 		if t >= nextFrameMs-1e-9 {
+			// Stage boundary timestamps, captured only when instrumented
+			// (ts[i] -> ts[i+1] is stageNames[i]).
+			var ts [len(stageNames) + 1]time.Time
+			instrumented := r.met != nil
+			var oArg *obs.Observer
+			if instrumented {
+				oArg = r.met.o
+				ts[0] = time.Now()
+			}
+
 			// The camera frames the road ahead: classifier ground truth is
 			// what a frame over the visible ground window depicts, not just
 			// the situation under the axle. The window starts AT the
@@ -307,7 +346,13 @@ func (r *runner) run() (*Result, error) {
 			// has actually passed beneath the vehicle.
 			truth := track.CameraSituationAhead(s, 0, cfg.PreviewM)
 			raw := r.rend.RenderRAW(camera.VehiclePose{X: plant.St.X, Y: plant.St.Y, Psi: plant.St.Psi, S: s}, cfg.Seed+int64(frame)*7919)
-			rgb := activeISP.Process(raw)
+			if instrumented {
+				ts[1] = time.Now()
+			}
+			rgb := activeISP.ProcessObserved(raw, oArg)
+			if instrumented {
+				ts[2] = time.Now()
+			}
 
 			// Situation identification on the ISP output (Fig. 2).
 			inv := cfg.Policy.Next(t)
@@ -330,6 +375,9 @@ func (r *runner) run() (*Result, error) {
 			if newSetting != setting {
 				res.SettingsUsed = append(res.SettingsUsed, newSetting)
 			}
+			if instrumented {
+				ts[3] = time.Now()
+			}
 
 			roi, _ := perception.ROIByID(newSetting.ROI)
 			pres := r.det.Detect(rgb, roi, perception.LookAhead)
@@ -338,6 +386,9 @@ func (r *runner) run() (*Result, error) {
 			ylTrue, trueOK := r.truthYL(plant, s)
 			if trueOK {
 				res.Detection.Add(pres.YL, ylTrue, pres.OK && pres.CandidatePixels > 0)
+			}
+			if instrumented {
+				ts[4] = time.Now()
 			}
 
 			// Innovation gating: a yL jump beyond what the vehicle can
@@ -368,6 +419,11 @@ func (r *runner) run() (*Result, error) {
 			// Actuation tau after capture, ceiled to the simulation step.
 			actT = t + cfg.Platform.CeilToStep(timing.TauMs)
 			actU = u
+			if instrumented {
+				ts[5] = time.Now()
+				r.met.cycle(&ts, frame, track.SectorAt(s), t, s, newSetting,
+					timing.HMs, timing.TauMs, pres.OK, measOK, newSetting != setting)
+			}
 
 			if cfg.Trace != nil {
 				cfg.Trace(TracePoint{

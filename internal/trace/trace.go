@@ -95,7 +95,11 @@ func ReadCSV(r io.Reader) ([]sim.TracePoint, error) {
 		p.Sector = n(2)
 		p.YLTrue = f(3)
 		p.YLMeas = f(4)
-		p.DetOK = row[5] == "true"
+		detOK, berr := strconv.ParseBool(row[5])
+		if berr != nil {
+			errs = append(errs, berr)
+		}
+		p.DetOK = detOK
 		p.Steer = f(6)
 		p.Setting.ISP = row[7]
 		p.Setting.ROI = n(8)
@@ -114,7 +118,10 @@ func ReadCSV(r io.Reader) ([]sim.TracePoint, error) {
 type Metrics struct {
 	// MAE of the true lateral deviation over all samples.
 	MAE float64
-	// Peak absolute true deviation and when it occurred.
+	// Peak absolute true deviation and when it occurred. PeakTimeS is
+	// the time of the FIRST sample attaining the peak: a later sample
+	// must be strictly greater to move it, so a flat plateau at the
+	// maximum keeps the earliest time.
 	Peak      float64
 	PeakTimeS float64
 	// SettlingTimeS is the first time after which |yL| stays inside

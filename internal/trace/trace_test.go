@@ -103,6 +103,66 @@ func TestReadCSVErrors(t *testing.T) {
 	if _, err := ReadCSV(bytes.NewBufferString(bad)); err == nil {
 		t.Fatal("malformed float accepted")
 	}
+	// det_ok must be a parseable bool, not silently coerced to false.
+	badBool := "time_s,s_m,sector,yl_true,yl_meas,det_ok,steer,isp,roi,speed_kmph,h_ms,tau_ms\n0,0,1,0,0,yes,0,S0,1,50,25,25\n"
+	if _, err := ReadCSV(bytes.NewBufferString(badBool)); err == nil {
+		t.Fatal("malformed det_ok accepted")
+	}
+}
+
+// TestAnalyzePeakTieBreak pins the documented PeakTimeS rule: a later
+// sample must be STRICTLY greater to move the peak, so a flat plateau at
+// the maximum reports the earliest time it was reached.
+func TestAnalyzePeakTieBreak(t *testing.T) {
+	mk := func(t float64, yl float64) sim.TracePoint {
+		return sim.TracePoint{TimeS: t, YLTrue: yl, Setting: knobs.Setting{ISP: "S0", ROI: 1, SpeedKmph: 30}}
+	}
+	pts := []sim.TracePoint{
+		mk(0.0, 0.1), mk(0.1, 0.5), mk(0.2, 0.5), mk(0.3, -0.5), mk(0.4, 0.2),
+	}
+	m := Analyze(pts)
+	if m.Peak != 0.5 {
+		t.Fatalf("peak = %v, want 0.5", m.Peak)
+	}
+	if m.PeakTimeS != 0.1 {
+		t.Fatalf("peak time = %v, want 0.1 (first sample attaining the plateau)", m.PeakTimeS)
+	}
+}
+
+// TestAnalyzeRoundTripEquivalence requires Analyze over CSV-round-tripped
+// points to match Analyze over the originals within serialized precision,
+// including the detection failures and the mid-run knob reconfiguration
+// that syntheticPoints carries.
+func TestAnalyzeRoundTripEquivalence(t *testing.T) {
+	pts := syntheticPoints()
+	rec := &Recorder{Points: pts}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, rt := Analyze(pts), Analyze(back)
+	// yl_true is written with 5 decimals and steer with 5, so the
+	// averaged metrics agree to well under 1e-4.
+	const tol = 1e-4
+	if math.Abs(orig.MAE-rt.MAE) > tol || math.Abs(orig.Peak-rt.Peak) > tol ||
+		math.Abs(orig.ControlEffort-rt.ControlEffort) > tol {
+		t.Fatalf("averaged metrics diverged:\norig %+v\nrt   %+v", orig, rt)
+	}
+	// time_s is written with 4 decimals; the identified samples must match.
+	if math.Abs(orig.PeakTimeS-rt.PeakTimeS) > 1e-4 || math.Abs(orig.SettlingTimeS-rt.SettlingTimeS) > 1e-4 {
+		t.Fatalf("timing metrics diverged:\norig %+v\nrt   %+v", orig, rt)
+	}
+	// Exact-count metrics survive serialization exactly.
+	if orig.DetectionAvailability != rt.DetectionAvailability {
+		t.Fatalf("availability %v vs %v", orig.DetectionAvailability, rt.DetectionAvailability)
+	}
+	if orig.Reconfigurations != rt.Reconfigurations || rt.Reconfigurations == 0 {
+		t.Fatalf("reconfigurations %d vs %d", orig.Reconfigurations, rt.Reconfigurations)
+	}
 }
 
 // TestRecorderWithSim wires the recorder into a real closed-loop run.
