@@ -163,8 +163,10 @@ func NewRegistry() *Registry {
 }
 
 // lookup returns (creating if needed) the series for name+labels,
-// enforcing one metric type per name.
-func (r *Registry) lookup(name, help, typ string, labels []Label) *series {
+// enforcing one metric type per name. The series and its metric are
+// created together while r.mu is held, so concurrent registration of the
+// same series always yields one instance.
+func (r *Registry) lookup(name, help, typ string, labels []Label, newMetric func(s *series)) *series {
 	key := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -179,6 +181,7 @@ func (r *Registry) lookup(name, help, typ string, labels []Label) *series {
 	s := f.series[key]
 	if s == nil {
 		s = &series{labels: key}
+		newMetric(s)
 		f.series[key] = s
 		f.order = append(f.order, key)
 	}
@@ -191,10 +194,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, typeCounter, labels)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
+	s := r.lookup(name, help, typeCounter, labels, func(s *series) { s.c = &Counter{} })
 	return s.c
 }
 
@@ -203,10 +203,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, typeGauge, labels)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
+	s := r.lookup(name, help, typeGauge, labels, func(s *series) { s.g = &Gauge{} })
 	return s.g
 }
 
@@ -220,13 +217,12 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	if len(buckets) == 0 {
 		buckets = DefBuckets
 	}
-	s := r.lookup(name, help, typeHistogram, labels)
-	if s.h == nil {
+	s := r.lookup(name, help, typeHistogram, labels, func(s *series) {
 		b := make([]float64, len(buckets))
 		copy(b, buckets)
 		sort.Float64s(b)
 		s.h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
-	}
+	})
 	return s.h
 }
 
@@ -236,17 +232,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Snapshot the family structure (names, order, series pointers) under
+	// the lock: lookup() may append to f.order / insert into f.series
+	// concurrently, and bare map reads would race with those writes. The
+	// atomic metric values are read after unlocking (metric updates never
+	// take the registry lock).
+	type famSnap struct {
+		name, help, typ string
+		series          []*series
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	// Snapshot the family structure under the lock; the atomic values are
-	// read afterwards (metric updates never take the registry lock).
-	fams := make([]*family, len(names))
+	fams := make([]famSnap, len(names))
 	for i, n := range names {
-		fams[i] = r.families[n]
+		f := r.families[n]
+		fs := famSnap{name: f.name, help: f.help, typ: f.typ, series: make([]*series, len(f.order))}
+		for j, key := range f.order {
+			fs.series[j] = f.series[key]
+		}
+		fams[i] = fs
 	}
 	r.mu.Unlock()
 
@@ -256,8 +264,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
-		for _, key := range f.order {
-			s := f.series[key]
+		for _, s := range f.series {
 			switch f.typ {
 			case typeCounter:
 				fmt.Fprintf(&sb, "%s%s %d\n", f.name, s.labels, s.c.Value())
@@ -289,6 +296,12 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// expvarMu serializes the expvar.Get existence check with the
+// expvar.Publish call across all registries, so a duplicate name from a
+// second registry degrades to the documented first-call-wins no-op
+// instead of a Publish panic.
+var expvarMu sync.Mutex
+
 // PublishExpvar publishes the registry under the given expvar name
 // (visible at /debug/vars on any server with the expvar handler). The
 // first call wins; republishing the same or another registry under an
@@ -301,7 +314,12 @@ func (r *Registry) PublishExpvar(name string) {
 	already := r.published
 	r.published = true
 	r.mu.Unlock()
-	if already || expvar.Get(name) != nil {
+	if already {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
 		return
 	}
 	expvar.Publish(name, expvar.Func(func() any { return r.snapshot() }))

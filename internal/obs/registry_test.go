@@ -54,6 +54,69 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+// TestScrapeDuringRegistration scrapes the exposition while other
+// goroutines lazily register new series, exercising the snapshot taken
+// by WritePrometheus (run under -race in CI; the pre-snapshot code was a
+// concurrent map read/write crash).
+func TestScrapeDuringRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("lazy_total", "", L("worker", strconv.Itoa(w)), L("i", strconv.Itoa(i))).Inc()
+				r.Histogram("lazy_seconds", "", nil, L("worker", strconv.Itoa(w))).Observe(0.01)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < each; i++ {
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := promParse(t, buf.String())
+	if got := samples[`lazy_total{i="0",worker="0"}`]; got != 1 {
+		t.Fatalf("post-race sample = %v, want 1", got)
+	}
+}
+
+// TestExpvarPublishCrossRegistry publishes the same expvar name from two
+// distinct registries concurrently: exactly one must win and the other
+// must degrade to a no-op instead of panicking in expvar.Publish.
+func TestExpvarPublishCrossRegistry(t *testing.T) {
+	const name = "hsas_test_metrics_cross"
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("cross_total", "").Add(1)
+	b.Counter("cross_total", "").Add(1)
+	var wg sync.WaitGroup
+	for _, r := range []*Registry{a, b} {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.PublishExpvar(name)
+		}()
+	}
+	wg.Wait()
+	if expvar.Get(name) == nil {
+		t.Fatal("neither registry published")
+	}
+}
+
 // promParse parses text exposition into sample name{labels} -> value,
 // skipping comment lines.
 func promParse(t *testing.T, text string) map[string]float64 {
