@@ -101,8 +101,8 @@ func main() {
 	}
 	if *trace {
 		cfg.Trace = func(p sim.TracePoint) {
-			fmt.Printf("t=%7.3f s=%7.2f sector=%d ylTrue=%+.3f ylMeas=%+.3f ok=%v steer=%+.4f %v h=%g tau=%.1f\n",
-				p.TimeS, p.S, p.Sector, p.YLTrue, p.YLMeas, p.DetOK, p.Steer, p.Setting, p.HMs, p.TauMs)
+			fmt.Printf("t=%7.3f s=%7.2f sector=%d lat=%+.3f ylTrue=%+.3f ylMeas=%+.3f ok=%v raw=%v steer=%+.4f %v h=%g tau=%.1f\n",
+				p.TimeS, p.S, p.Sector, p.Lat, p.YLTrue, p.YLMeas, p.DetOK, p.RawDetOK, p.Steer, p.Setting, p.HMs, p.TauMs)
 		}
 	}
 

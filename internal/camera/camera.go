@@ -20,6 +20,7 @@
 package camera
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -75,12 +76,27 @@ const (
 )
 
 // Renderer renders RAW frames of a track from a vehicle pose.
+//
+// RenderScene / RenderRAW / Mosaic allocate their outputs and are safe
+// for concurrent use. The Into variants reuse caller buffers plus
+// per-renderer scratch (scene buffer, noise stream) and must be called
+// from one goroutine at a time; run-level parallelism (the
+// characterization sweep) gives each run its own Renderer.
 type Renderer struct {
 	Track *world.Track
 	Cam   Camera
 
+	// Workers bounds the row-parallel scene shading (RenderScene and the
+	// Into variants): 0 uses GOMAXPROCS, 1 forces serial. The rendered
+	// image is byte-identical for every worker count — the split only
+	// partitions loop bounds over independent pixels.
+	Workers int
+
 	rayX, rayY, rayZ []float64 // per-pixel ray directions in camera frame
 	vig              []float32 // per-pixel vignetting gain
+
+	rng   *rand.Rand  // MosaicInto's reusable noise stream
+	scene *raster.RGB // RenderRAWInto's scene scratch
 }
 
 // NewRenderer precomputes the per-pixel ray table for the camera.
@@ -113,8 +129,19 @@ func NewRenderer(track *world.Track, cam Camera) *Renderer {
 // RenderScene renders the linear scene radiance (before the sensor model)
 // as an RGB image. Used for ground-truth inspection and by RenderRAW.
 func (r *Renderer) RenderScene(vp VehiclePose) *raster.RGB {
+	return r.RenderSceneInto(raster.NewRGB(r.Cam.Width, r.Cam.Height), vp)
+}
+
+// RenderSceneInto renders the linear scene radiance into out and returns
+// it. Every pixel is written, so out may be a recycled buffer. Shading is
+// row-parallel over r.Workers; the track query (Locate/SurfaceAt) and the
+// texture hash are pure, so the output is byte-identical to the serial
+// render.
+func (r *Renderer) RenderSceneInto(out *raster.RGB, vp VehiclePose) *raster.RGB {
 	w, h := r.Cam.Width, r.Cam.Height
-	out := raster.NewRGB(w, h)
+	if out.W != w || out.H != h {
+		panic(fmt.Sprintf("camera: RenderSceneInto buffer is %dx%d, camera is %dx%d", out.W, out.H, w, h))
+	}
 
 	sinPsi, cosPsi := math.Sin(vp.Psi), math.Cos(vp.Psi)
 	pitch := r.Cam.PitchDeg * math.Pi / 180
@@ -129,28 +156,30 @@ func (r *Renderer) RenderScene(vp VehiclePose) *raster.RGB {
 	scene := r.Track.SituationAt(vp.S).Scene
 	sky := skyColor(scene)
 
-	for i := 0; i < w*h; i++ {
-		// Ray direction in world coordinates.
-		dx := r.rayX[i]*right[0] + r.rayY[i]*down[0] + r.rayZ[i]*fwd[0]
-		dy := r.rayX[i]*right[1] + r.rayY[i]*down[1] + r.rayZ[i]*fwd[1]
-		dz := r.rayX[i]*right[2] + r.rayY[i]*down[2] + r.rayZ[i]*fwd[2]
+	raster.ParallelRows(h, r.Workers, func(y0, y1 int) {
+		for i := y0 * w; i < y1*w; i++ {
+			// Ray direction in world coordinates.
+			dx := r.rayX[i]*right[0] + r.rayY[i]*down[0] + r.rayZ[i]*fwd[0]
+			dy := r.rayX[i]*right[1] + r.rayY[i]*down[1] + r.rayZ[i]*fwd[1]
+			dz := r.rayX[i]*right[2] + r.rayY[i]*down[2] + r.rayZ[i]*fwd[2]
 
-		if dz >= -1e-6 {
-			out.R[i], out.G[i], out.B[i] = sky[0], sky[1], sky[2]
-			continue
+			if dz >= -1e-6 {
+				out.R[i], out.G[i], out.B[i] = sky[0], sky[1], sky[2]
+				continue
+			}
+			t := camZ / -dz
+			dist := t
+			if dist > r.Cam.MaxDist {
+				// Haze: fade the ground into the sky color.
+				out.R[i], out.G[i], out.B[i] = sky[0]*0.9, sky[1]*0.9, sky[2]*0.9
+				continue
+			}
+			gx := vp.X + t*dx
+			gy := vp.Y + t*dy
+			rad := r.shadeGround(gx, gy, vp, scene, dist)
+			out.R[i], out.G[i], out.B[i] = rad[0], rad[1], rad[2]
 		}
-		t := camZ / -dz
-		dist := t
-		if dist > r.Cam.MaxDist {
-			// Haze: fade the ground into the sky color.
-			out.R[i], out.G[i], out.B[i] = sky[0]*0.9, sky[1]*0.9, sky[2]*0.9
-			continue
-		}
-		gx := vp.X + t*dx
-		gy := vp.Y + t*dy
-		rad := r.shadeGround(gx, gy, vp, scene, dist)
-		out.R[i], out.G[i], out.B[i] = rad[0], rad[1], rad[2]
-	}
+	})
 	return out
 }
 
@@ -304,11 +333,45 @@ func (r *Renderer) RenderRAW(vp VehiclePose, seed int64) *raster.Bayer {
 	return r.Mosaic(scene, seed)
 }
 
+// RenderRAWInto renders the scene into per-renderer scratch and applies
+// the sensor model into raw, returning raw. Every sample is written, so
+// raw may be a recycled buffer. The output is byte-identical to
+// RenderRAW with the same pose and seed. Not safe for concurrent use.
+func (r *Renderer) RenderRAWInto(raw *raster.Bayer, vp VehiclePose, seed int64) *raster.Bayer {
+	w, h := r.Cam.Width, r.Cam.Height
+	if r.scene == nil || r.scene.W != w || r.scene.H != h {
+		r.scene = raster.NewRGB(w, h)
+	}
+	r.RenderSceneInto(r.scene, vp)
+	return r.MosaicInto(raw, r.scene, seed)
+}
+
 // Mosaic applies the sensor model to a linear scene radiance image.
 func (r *Renderer) Mosaic(scene *raster.RGB, seed int64) *raster.Bayer {
+	return mosaicInto(raster.NewBayer(scene.W, scene.H), scene, r.vig, rand.New(rand.NewSource(seed)))
+}
+
+// MosaicInto applies the sensor model into raw and returns it, reseeding
+// a per-renderer noise stream instead of allocating one. Reseeding a
+// rand.Rand restores exactly the state of rand.New(rand.NewSource(seed)),
+// so the noise — and therefore the mosaic — is byte-identical to Mosaic.
+// The sensor noise is a single sequential stream (two normal variates per
+// pixel in raster order), so this stage stays serial by construction.
+// Not safe for concurrent use.
+func (r *Renderer) MosaicInto(raw *raster.Bayer, scene *raster.RGB, seed int64) *raster.Bayer {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(seed))
+	} else {
+		r.rng.Seed(seed)
+	}
+	return mosaicInto(raw, scene, r.vig, r.rng)
+}
+
+func mosaicInto(raw *raster.Bayer, scene *raster.RGB, vig []float32, rng *rand.Rand) *raster.Bayer {
 	w, h := scene.W, scene.H
-	raw := raster.NewBayer(w, h)
-	rng := rand.New(rand.NewSource(seed))
+	if raw.W != w || raw.H != h {
+		panic(fmt.Sprintf("camera: mosaic buffer is %dx%d, scene is %dx%d", raw.W, raw.H, w, h))
+	}
 	m := &SensorMatrix
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -323,7 +386,7 @@ func (r *Renderer) Mosaic(scene *raster.RGB, seed int64) *raster.Bayer {
 			default:
 				v = m[2][0]*sr + m[2][1]*sg + m[2][2]*sb
 			}
-			v *= float64(r.vig[i])
+			v *= float64(vig[i])
 			v += math.Sqrt(math.Max(v, 0))*ShotNoise*rng.NormFloat64() + ReadNoise*rng.NormFloat64()
 			if v < 0 {
 				v = 0

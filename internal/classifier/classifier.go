@@ -193,7 +193,12 @@ func toInput(img *raster.RGB, whiteBalance bool) *cnn.Tensor {
 // grayWorld normalizes each channel by its mean (scaled to a 0.35 gray),
 // removing global illumination tint and level.
 func grayWorld(img *raster.RGB) *raster.RGB {
-	out := raster.NewRGB(img.W, img.H)
+	return grayWorldInto(raster.NewRGB(img.W, img.H), img)
+}
+
+// grayWorldInto is grayWorld writing into a caller-held buffer of the
+// same dimensions. Every output pixel is written. out must not alias img.
+func grayWorldInto(out, img *raster.RGB) *raster.RGB {
 	planes := [3][2][]float32{{img.R, out.R}, {img.G, out.G}, {img.B, out.B}}
 	for _, p := range planes {
 		src, dst := p[0], p[1]
@@ -216,7 +221,12 @@ func grayWorld(img *raster.RGB) *raster.RGB {
 // ToTensor converts an RGB image into a mean-centered CHW tensor for the
 // network (inputs in [-0.5, 0.5] condition the first layer's gradients).
 func ToTensor(img *raster.RGB) *cnn.Tensor {
-	t := cnn.NewTensor(3, img.H, img.W)
+	return toTensorInto(cnn.NewTensor(3, img.H, img.W), img)
+}
+
+// toTensorInto is ToTensor writing into a caller-held 3×H×W tensor.
+// Every element is written.
+func toTensorInto(t *cnn.Tensor, img *raster.RGB) *cnn.Tensor {
 	n := img.W * img.H
 	for i := 0; i < n; i++ {
 		t.Data[i] = img.R[i] - 0.5
@@ -243,11 +253,19 @@ func Split(samples []cnn.Sample, valFrac float64, seed int64) (train, val []cnn.
 }
 
 // Classifier is a trained situation classifier ready for the runtime loop.
+// Classify reuses per-classifier input scratch (and the network's layer
+// output caches), so a Classifier must not run Classify concurrently
+// with itself.
 type Classifier struct {
 	Kind         Kind
 	Net          *cnn.Network
 	InW, InH     int
 	WhiteBalance bool
+
+	// Inference scratch, lazily sized on first Classify.
+	resized *raster.RGB
+	wb      *raster.RGB
+	input   *cnn.Tensor
 }
 
 // Report summarizes a training run (our analog of a Table IV row).
@@ -325,13 +343,26 @@ func TrainObserved(kind Kind, dcfg DatasetConfig, tcfg cnn.TrainConfig, o *obs.O
 
 // Classify predicts the class of an ISP-processed frame, resizing to the
 // network's input resolution and applying the classifier's input
-// normalization.
+// normalization. Steady-state calls are allocation-free: the resize,
+// white-balance and tensor buffers are classifier-held scratch and the
+// argmax comes from Net.Infer, which reuses the layer output caches.
 func (c *Classifier) Classify(img *raster.RGB) int {
 	if img.W != c.InW || img.H != c.InH {
-		img = img.Resize(c.InW, c.InH)
+		if c.resized == nil || c.resized.W != c.InW || c.resized.H != c.InH {
+			c.resized = raster.NewRGB(c.InW, c.InH)
+		}
+		img = img.ResizeInto(c.resized)
 	}
-	pred, _ := c.Net.Predict(toInput(img, c.WhiteBalance))
-	return pred
+	if c.WhiteBalance {
+		if c.wb == nil || c.wb.W != img.W || c.wb.H != img.H {
+			c.wb = raster.NewRGB(img.W, img.H)
+		}
+		img = grayWorldInto(c.wb, img)
+	}
+	if c.input == nil || c.input.H != img.H || c.input.W != img.W {
+		c.input = cnn.NewTensor(3, img.H, img.W)
+	}
+	return c.Net.Infer(toTensorInto(c.input, img))
 }
 
 // Oracle returns a perfect classifier of the given kind, used to isolate

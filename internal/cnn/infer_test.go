@@ -1,0 +1,66 @@
+package cnn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func inferNet(t testing.TB) *Network {
+	t.Helper()
+	net, err := ResNetLite(3, 24, 48, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func randTensor(rng *rand.Rand, c, h, w int) *Tensor {
+	x := NewTensor(c, h, w)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+// TestInferMatchesPredict: softmax is monotone, so Infer's logit argmax
+// must equal Predict's probability argmax on every input — including
+// when cache-reusing Infer calls are interleaved with Predict and
+// train-mode Forward calls.
+func TestInferMatchesPredict(t *testing.T) {
+	net := inferNet(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		x := randTensor(rng, 3, 24, 48)
+		want, probs := net.Predict(x)
+		got := net.Infer(x)
+		if got != want {
+			t.Fatalf("input %d: Infer=%d Predict=%d (probs %v)", i, got, want, probs)
+		}
+		if i == 10 {
+			// A train-mode pass in between must not corrupt the
+			// inference caches.
+			net.Forward(x, true)
+			if again := net.Infer(x); again != want {
+				t.Fatalf("input %d after train pass: Infer=%d want %d", i, again, want)
+			}
+		}
+	}
+}
+
+// TestInferSteadyStateAllocs pins the zero-allocation inference
+// contract: after a warm-up call sizes the layer output caches, Infer
+// must not allocate.
+func TestInferSteadyStateAllocs(t *testing.T) {
+	net := inferNet(t)
+	rng := rand.New(rand.NewSource(5))
+	x := randTensor(rng, 3, 24, 48)
+	net.Infer(x) // warm the caches
+	sink := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		sink += net.Infer(x)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("steady-state Infer allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -11,7 +11,8 @@ type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	W, B                      *Param
 
-	x *Tensor // cached input
+	x   *Tensor // cached input (training)
+	out *Tensor // reused output (inference)
 }
 
 // NewConv2D constructs a convolution layer with He initialization.
@@ -45,7 +46,12 @@ func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
 		c.x = x
 	}
 	_, oh, ow := c.OutShape(x.C, x.H, x.W)
-	out := NewTensor(c.OutC, oh, ow)
+	var out *Tensor
+	if train {
+		out = NewTensor(c.OutC, oh, ow)
+	} else {
+		out = ensureTensor(&c.out, c.OutC, oh, ow)
+	}
 	for oc := 0; oc < c.OutC; oc++ {
 		bias := c.B.Data[oc]
 		for oy := 0; oy < oh; oy++ {
@@ -124,6 +130,7 @@ func (c *Conv2D) Backward(grad *Tensor) *Tensor {
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
+	out  *Tensor // reused output (inference)
 }
 
 // Name implements Layer.
@@ -137,16 +144,23 @@ func (r *ReLU) OutShape(c, h, w int) (int, int, int) { return c, h, w }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
-	out := NewTensor(x.C, x.H, x.W)
 	if train {
+		out := NewTensor(x.C, x.H, x.W)
 		r.mask = make([]bool, len(x.Data))
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+				r.mask[i] = true
+			}
+		}
+		return out
 	}
+	out := ensureTensor(&r.out, x.C, x.H, x.W)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
-			if train {
-				r.mask[i] = true
-			}
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -167,6 +181,7 @@ func (r *ReLU) Backward(grad *Tensor) *Tensor {
 type MaxPool2 struct {
 	argmax        []int
 	inC, inH, inW int
+	out           *Tensor // reused output (inference)
 }
 
 // Name implements Layer.
@@ -181,10 +196,13 @@ func (m *MaxPool2) OutShape(c, h, w int) (int, int, int) { return c, h / 2, w / 
 // Forward implements Layer.
 func (m *MaxPool2) Forward(x *Tensor, train bool) *Tensor {
 	oc, oh, ow := m.OutShape(x.C, x.H, x.W)
-	out := NewTensor(oc, oh, ow)
+	var out *Tensor
 	if train {
+		out = NewTensor(oc, oh, ow)
 		m.argmax = make([]int, oc*oh*ow)
 		m.inC, m.inH, m.inW = x.C, x.H, x.W
+	} else {
+		out = ensureTensor(&m.out, oc, oh, ow)
 	}
 	for c := 0; c < oc; c++ {
 		for oy := 0; oy < oh; oy++ {
@@ -222,6 +240,7 @@ func (m *MaxPool2) Backward(grad *Tensor) *Tensor {
 // GlobalAvgPool averages each channel to a single value.
 type GlobalAvgPool struct {
 	inH, inW int
+	out      *Tensor // reused output (inference)
 }
 
 // Name implements Layer.
@@ -235,10 +254,13 @@ func (g *GlobalAvgPool) OutShape(c, h, w int) (int, int, int) { return c, 1, 1 }
 
 // Forward implements Layer.
 func (g *GlobalAvgPool) Forward(x *Tensor, train bool) *Tensor {
+	var out *Tensor
 	if train {
 		g.inH, g.inW = x.H, x.W
+		out = NewTensor(x.C, 1, 1)
+	} else {
+		out = ensureTensor(&g.out, x.C, 1, 1)
 	}
-	out := NewTensor(x.C, 1, 1)
 	n := float32(x.H * x.W)
 	for c := 0; c < x.C; c++ {
 		var s float32
@@ -268,6 +290,7 @@ type Dense struct {
 	In, Out int
 	W, B    *Param
 	x       *Tensor
+	out     *Tensor // reused output (inference)
 }
 
 // NewDense constructs a fully connected layer.
@@ -291,10 +314,13 @@ func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
 	if len(x.Data) != d.In {
 		panic(fmt.Sprintf("cnn: %s got %d inputs", d.Name(), len(x.Data)))
 	}
+	var out *Tensor
 	if train {
 		d.x = x
+		out = NewTensor(d.Out, 1, 1)
+	} else {
+		out = ensureTensor(&d.out, d.Out, 1, 1)
 	}
-	out := NewTensor(d.Out, 1, 1)
 	for o := 0; o < d.Out; o++ {
 		s := d.B.Data[o]
 		row := o * d.In
@@ -333,6 +359,7 @@ type Residual struct {
 	relu1, relu2 ReLU
 	skip         *Tensor
 	sumPre       *Tensor
+	sumOut       *Tensor // reused sum buffer (inference)
 }
 
 // NewResidual constructs a basic block with inC->outC channels; when
@@ -378,7 +405,12 @@ func (r *Residual) Forward(x *Tensor, train bool) *Tensor {
 	if !main.SameShape(skip) {
 		panic("cnn: residual shape mismatch")
 	}
-	sum := NewTensor(main.C, main.H, main.W)
+	var sum *Tensor
+	if train {
+		sum = NewTensor(main.C, main.H, main.W)
+	} else {
+		sum = ensureTensor(&r.sumOut, main.C, main.H, main.W)
+	}
 	for i := range sum.Data {
 		sum.Data[i] = main.Data[i] + skip.Data[i]
 	}

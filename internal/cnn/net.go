@@ -68,6 +68,22 @@ func (n *Network) Predict(x *Tensor) (int, []float32) {
 	return best, probs
 }
 
+// Infer returns the argmax class without materializing softmax
+// probabilities (softmax is monotone, so the argmax over logits is the
+// same). Unlike Predict it allocates nothing in steady state: every
+// layer reuses its inference output cache. The network must not be
+// shared across goroutines during Infer for the same reason.
+func (n *Network) Infer(x *Tensor) int {
+	logits := n.Forward(x, false)
+	best := 0
+	for i, v := range logits.Data {
+		if v > logits.Data[best] {
+			best = i
+		}
+	}
+	return best
+}
+
 // Softmax returns the normalized exponentials of v.
 func Softmax(v []float32) []float32 {
 	maxV := v[0]

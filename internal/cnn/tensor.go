@@ -86,3 +86,17 @@ type Layer interface {
 	// used for architecture validation and persistence.
 	OutShape(c, h, w int) (int, int, int)
 }
+
+// ensureTensor returns *p resized to c×h×w, reallocating only on shape
+// change. It is the inference-path output cache: layers reuse their
+// output tensor across Forward(train=false) calls, so a steady-state
+// classifier invocation allocates nothing. Callers must fully overwrite
+// the returned tensor's Data.
+func ensureTensor(p **Tensor, c, h, w int) *Tensor {
+	t := *p
+	if t == nil || t.C != c || t.H != h || t.W != w {
+		t = NewTensor(c, h, w)
+		*p = t
+	}
+	return t
+}

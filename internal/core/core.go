@@ -60,6 +60,12 @@ type CharacterizeConfig struct {
 	// situation; 0 uses GOMAXPROCS. The result is deterministic
 	// regardless of worker count (only Progress ordering varies).
 	Workers int
+	// KernelWorkers bounds the per-pixel image-kernel goroutines inside
+	// each closed-loop run. 0 divides GOMAXPROCS by the sweep worker
+	// count (so the two pools compose without oversubscription);
+	// negative forces serial kernels. Results are byte-identical for any
+	// value.
+	KernelWorkers int
 	// Obs, when set, receives sweep progress logs, per-run spans on one
 	// trace lane per worker, run counters/latency histograms and a
 	// busy-worker utilization gauge. The inner closed-loop runs share
@@ -136,6 +142,9 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.KernelWorkers == 0 {
+		cfg.KernelWorkers = max(1, runtime.GOMAXPROCS(0)/workers)
 	}
 	xavier := platform.Xavier()
 
@@ -248,6 +257,7 @@ func evalCandidate(cfg CharacterizeConfig, xavier platform.Platform, inner *obs.
 		Seed:             cfg.Seed,
 		FixedSetting:     &setting,
 		FixedClassifiers: 3,
+		KernelWorkers:    cfg.KernelWorkers,
 		Obs:              inner,
 	})
 	if err != nil {
@@ -260,13 +270,29 @@ func evalCandidate(cfg CharacterizeConfig, xavier platform.Platform, inner *obs.
 		HMs:     timing.HMs,
 		TauMs:   timing.TauMs,
 	}
-	// A crashed run records the MAE up to the crash, which can be
-	// deceptively small; penalize it out of contention.
-	if run.Crashed || c.MAE == 0 {
-		c.MAE = run.MAE + 10
-		c.Crashed = true
-	}
+	c.MAE, c.Crashed = penalizedMAE(c.MAE, run.Crashed)
 	return c, nil
+}
+
+// crashPenalty is added to a candidate's eval-sector MAE when its run
+// crashed (or never produced an eval-sector sample), pushing it behind
+// every surviving candidate while preserving the relative order among
+// crashed ones.
+const crashPenalty = 10
+
+// penalizedMAE maps a candidate's eval-sector MAE and crash flag to its
+// ranking score. Crashed candidates are penalized on the SAME sector
+// basis as survivors — sectorMAE + crashPenalty — so two crashers still
+// rank by how well they tracked the eval sector before failing. (The
+// seed version penalized with the whole-track MAE instead, which ranked
+// crashed candidates on an incomparable basis.) A zero sectorMAE means
+// the run ended before sampling the eval sector and is treated as a
+// crash there.
+func penalizedMAE(sectorMAE float64, crashed bool) (float64, bool) {
+	if crashed || sectorMAE == 0 {
+		return sectorMAE + crashPenalty, true
+	}
+	return sectorMAE, false
 }
 
 // candidateSettings enumerates the knob space for one situation. The

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestPenalizedMAERanking pins the crash-penalty fix: crashed candidates
+// are penalized on the same eval-sector basis as survivors, so (a) every
+// survivor outranks every crasher, and (b) two crashers still rank by
+// how well they tracked the eval sector before failing. The seed version
+// substituted the whole-track MAE for crashers, which could invert (b)
+// and, for a crasher with a tiny whole-track MAE, threaten (a).
+func TestPenalizedMAERanking(t *testing.T) {
+	type cand struct {
+		name      string
+		sectorMAE float64
+		crashed   bool
+	}
+	cands := []cand{
+		{"survivor-good", 0.08, false},
+		{"survivor-bad", 1.9, false},
+		{"crasher-close", 0.2, true}, // tracked well, then crashed
+		{"crasher-wild", 2.0, true},  // was already far off
+	}
+	type scored struct {
+		name string
+		mae  float64
+	}
+	var ranked []scored
+	for _, c := range cands {
+		mae, crashed := penalizedMAE(c.sectorMAE, c.crashed)
+		if c.crashed && !crashed {
+			t.Fatalf("%s: crash flag lost", c.name)
+		}
+		if !c.crashed && crashed {
+			t.Fatalf("%s: survivor marked crashed", c.name)
+		}
+		ranked = append(ranked, scored{c.name, mae})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].mae < ranked[j].mae })
+	want := []string{"survivor-good", "survivor-bad", "crasher-close", "crasher-wild"}
+	for i, w := range want {
+		if ranked[i].name != w {
+			t.Fatalf("rank %d: got %s, want %s (full order %v)", i, ranked[i].name, w, ranked)
+		}
+	}
+}
+
+// TestPenalizedMAEUnsampledSector: a run that never sampled the eval
+// sector (sector MAE 0) is indistinguishable from a crash there and must
+// not win the sweep with a spurious perfect score.
+func TestPenalizedMAEUnsampledSector(t *testing.T) {
+	mae, crashed := penalizedMAE(0, false)
+	if !crashed || mae < crashPenalty {
+		t.Fatalf("unsampled sector scored %v crashed=%v", mae, crashed)
+	}
+	mae, crashed = penalizedMAE(0.5, false)
+	if crashed || mae != 0.5 {
+		t.Fatalf("clean survivor rescored to %v crashed=%v", mae, crashed)
+	}
+}

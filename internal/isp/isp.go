@@ -112,18 +112,31 @@ var XavierRuntimeMs = map[string]float64{
 // Process runs the configured pipeline over a RAW mosaic. Stages execute
 // in canonical order regardless of their order in the Config.
 func (c Config) Process(raw *raster.Bayer) *raster.RGB {
-	img := DemosaicBilinear(raw)
+	return c.ProcessInto(raw, nil, nil, 1)
+}
+
+// ProcessInto runs the configured pipeline with caller-held buffers and
+// row-parallel kernels. out receives the demosaic result; tmp is the
+// ping-pong target when the configuration denoises (pass nil to
+// allocate either). The returned image is whichever buffer holds the
+// final stage's output — callers reusing buffers across frames must use
+// the return value, not assume out. Every stage writes every pixel of
+// its output, so recycled buffers with arbitrary contents are safe; the
+// result is byte-identical to Process for every worker count
+// (TestProcessIntoMatchesSerial).
+func (c Config) ProcessInto(raw *raster.Bayer, out, tmp *raster.RGB, workers int) *raster.RGB {
+	img := DemosaicBilinearInto(raw, out, workers)
 	if c.Has(Denoise) {
-		img = DenoiseBilateral(img)
+		img = DenoiseBilateralInto(img, tmp, workers)
 	}
 	if c.Has(ColorMap) {
-		ApplyColorMap(img)
+		ApplyColorMapWorkers(img, workers)
 	}
 	if c.Has(GamutMap) {
-		ApplyGamutMap(img)
+		ApplyGamutMapWorkers(img, workers)
 	}
 	if c.Has(ToneMap) {
-		ApplyToneMap(img)
+		ApplyToneMapWorkers(img, workers)
 	}
 	return img
 }
@@ -133,8 +146,15 @@ func (c Config) Process(raw *raster.Bayer) *raster.RGB {
 // (the per-stage timings Table II profiles per configuration). With a
 // nil observer it falls through to the uninstrumented path.
 func (c Config) ProcessObserved(raw *raster.Bayer, o *obs.Observer) *raster.RGB {
+	return c.ProcessObservedInto(raw, nil, nil, 1, o)
+}
+
+// ProcessObservedInto is ProcessInto with the per-stage instrumentation
+// of ProcessObserved. A nil observer falls through to the uninstrumented
+// path.
+func (c Config) ProcessObservedInto(raw *raster.Bayer, out, tmp *raster.RGB, workers int, o *obs.Observer) *raster.RGB {
 	if !o.Enabled() {
-		return c.Process(raw)
+		return c.ProcessInto(raw, out, tmp, workers)
 	}
 	reg, tr := o.Registry(), o.Tracer()
 	stage := func(s Stage, start time.Time) {
@@ -145,26 +165,26 @@ func (c Config) ProcessObserved(raw *raster.Bayer, o *obs.Observer) *raster.RGB 
 	}
 
 	start := time.Now()
-	img := DemosaicBilinear(raw)
+	img := DemosaicBilinearInto(raw, out, workers)
 	stage(Demosaic, start)
 	if c.Has(Denoise) {
 		start = time.Now()
-		img = DenoiseBilateral(img)
+		img = DenoiseBilateralInto(img, tmp, workers)
 		stage(Denoise, start)
 	}
 	if c.Has(ColorMap) {
 		start = time.Now()
-		ApplyColorMap(img)
+		ApplyColorMapWorkers(img, workers)
 		stage(ColorMap, start)
 	}
 	if c.Has(GamutMap) {
 		start = time.Now()
-		ApplyGamutMap(img)
+		ApplyGamutMapWorkers(img, workers)
 		stage(GamutMap, start)
 	}
 	if c.Has(ToneMap) {
 		start = time.Now()
-		ApplyToneMap(img)
+		ApplyToneMapWorkers(img, workers)
 		stage(ToneMap, start)
 	}
 	return img
@@ -173,9 +193,25 @@ func (c Config) ProcessObserved(raw *raster.Bayer, o *obs.Observer) *raster.RGB 
 // DemosaicBilinear reconstructs a full RGB image from an RGGB mosaic with
 // bilinear interpolation of the missing samples.
 func DemosaicBilinear(raw *raster.Bayer) *raster.RGB {
+	return DemosaicBilinearInto(raw, nil, 1)
+}
+
+// DemosaicBilinearInto demosaics into out (allocated when nil) with
+// row-parallel interpolation. Every output sample is written.
+func DemosaicBilinearInto(raw *raster.Bayer, out *raster.RGB, workers int) *raster.RGB {
 	w, h := raw.W, raw.H
-	out := raster.NewRGB(w, h)
-	for y := 0; y < h; y++ {
+	if out == nil {
+		out = raster.NewRGB(w, h)
+	} else if out.W != w || out.H != h {
+		panic(fmt.Sprintf("isp: demosaic buffer is %dx%d, raw is %dx%d", out.W, out.H, w, h))
+	}
+	raster.ParallelRows(h, workers, func(y0, y1 int) { demosaicRows(raw, out, y0, y1) })
+	return out
+}
+
+func demosaicRows(raw *raster.Bayer, out *raster.RGB, y0, y1 int) {
+	w := raw.W
+	for y := y0; y < y1; y++ {
 		for x := 0; x < w; x++ {
 			i := y*w + x
 			switch raster.ColorAt(x, y) {
@@ -199,7 +235,6 @@ func DemosaicBilinear(raw *raster.Bayer) *raster.RGB {
 			}
 		}
 	}
-	return out
 }
 
 func avg2(a, b float32) float32       { return (a + b) / 2 }
@@ -215,14 +250,35 @@ const (
 // DenoiseBilateral applies an edge-preserving 3×3 bilateral filter per
 // channel and returns a new image.
 func DenoiseBilateral(img *raster.RGB) *raster.RGB {
+	return DenoiseBilateralInto(img, nil, 1)
+}
+
+// DenoiseBilateralInto filters img into out (allocated when nil) with
+// row-parallel kernels and returns out. The filter reads only img and
+// writes every pixel of out, so out may be recycled but must not alias
+// img.
+func DenoiseBilateralInto(img, out *raster.RGB, workers int) *raster.RGB {
 	w, h := img.W, img.H
-	out := raster.NewRGB(w, h)
+	if out == nil {
+		out = raster.NewRGB(w, h)
+	} else if out.W != w || out.H != h {
+		panic(fmt.Sprintf("isp: denoise buffer is %dx%d, image is %dx%d", out.W, out.H, w, h))
+	}
+	if out == img {
+		panic("isp: denoise output aliases input")
+	}
+	raster.ParallelRows(h, workers, func(y0, y1 int) { denoiseRows(img, out, y0, y1) })
+	return out
+}
+
+func denoiseRows(img, out *raster.RGB, y0, y1 int) {
+	w, h := img.W, img.H
 	spatial := [3]float32{0.60, 1.0, 0.60} // gaussian taps at |d| = 1, 0, 1
 	inv2s2 := float32(1 / (2 * denoiseRangeSigma * denoiseRangeSigma))
 	planes := [3][2][]float32{{img.R, out.R}, {img.G, out.G}, {img.B, out.B}}
 	for _, p := range planes {
 		src, dst := p[0], p[1]
-		for y := 0; y < h; y++ {
+		for y := y0; y < y1; y++ {
 			for x := 0; x < w; x++ {
 				c := src[y*w+x]
 				var sum, wsum float32
@@ -247,7 +303,6 @@ func DenoiseBilateral(img *raster.RGB) *raster.RGB {
 			}
 		}
 	}
-	return out
 }
 
 // expFast is a fast exponential approximation adequate for filter weights
@@ -292,14 +347,20 @@ func invert3(m [3][3]float64) [3][3]float32 {
 
 // ApplyColorMap applies the color-correction matrix in place, restoring
 // scene colorimetry from the sensor's crosstalked channels.
-func ApplyColorMap(img *raster.RGB) {
+func ApplyColorMap(img *raster.RGB) { ApplyColorMapWorkers(img, 1) }
+
+// ApplyColorMapWorkers is ApplyColorMap with row-parallel execution.
+func ApplyColorMapWorkers(img *raster.RGB, workers int) {
+	w := img.W
 	m := &ColorMapMatrix
-	for i := range img.R {
-		r, g, b := img.R[i], img.G[i], img.B[i]
-		img.R[i] = m[0][0]*r + m[0][1]*g + m[0][2]*b
-		img.G[i] = m[1][0]*r + m[1][1]*g + m[1][2]*b
-		img.B[i] = m[2][0]*r + m[2][1]*g + m[2][2]*b
-	}
+	raster.ParallelRows(img.H, workers, func(y0, y1 int) {
+		for i := y0 * w; i < y1*w; i++ {
+			r, g, b := img.R[i], img.G[i], img.B[i]
+			img.R[i] = m[0][0]*r + m[0][1]*g + m[0][2]*b
+			img.G[i] = m[1][0]*r + m[1][1]*g + m[1][2]*b
+			img.B[i] = m[2][0]*r + m[2][1]*g + m[2][2]*b
+		}
+	})
 }
 
 // Gamut-map knee: values above the knee are compressed smoothly toward 1,
@@ -308,35 +369,49 @@ const gamutKnee = 0.85
 
 // ApplyGamutMap compresses out-of-gamut values in place: a soft knee above
 // gamutKnee and a hard clip below zero.
-func ApplyGamutMap(img *raster.RGB) {
-	for _, ch := range [3][]float32{img.R, img.G, img.B} {
-		for i, v := range ch {
-			switch {
-			case v != v: // NaN from upstream arithmetic: map to black
-				ch[i] = 0
-			case v < 0:
-				ch[i] = 0
-			case v > gamutKnee:
-				// Smooth rational knee mapping [knee, inf) -> [knee, 1].
-				t := v - gamutKnee
-				out := gamutKnee + (1-gamutKnee)*t/(t+(1-gamutKnee))
-				if !(out <= 1) { // saturates Inf/Inf artifacts
-					out = 1
+func ApplyGamutMap(img *raster.RGB) { ApplyGamutMapWorkers(img, 1) }
+
+// ApplyGamutMapWorkers is ApplyGamutMap with row-parallel execution.
+func ApplyGamutMapWorkers(img *raster.RGB, workers int) {
+	w := img.W
+	raster.ParallelRows(img.H, workers, func(y0, y1 int) {
+		for _, ch := range [3][]float32{img.R, img.G, img.B} {
+			row := ch[y0*w : y1*w]
+			for i, v := range row {
+				switch {
+				case v != v: // NaN from upstream arithmetic: map to black
+					row[i] = 0
+				case v < 0:
+					row[i] = 0
+				case v > gamutKnee:
+					// Smooth rational knee mapping [knee, inf) -> [knee, 1].
+					t := v - gamutKnee
+					out := gamutKnee + (1-gamutKnee)*t/(t+(1-gamutKnee))
+					if !(out <= 1) { // saturates Inf/Inf artifacts
+						out = 1
+					}
+					row[i] = out
 				}
-				ch[i] = out
 			}
 		}
-	}
+	})
 }
 
 // ApplyToneMap applies the sRGB-like transfer curve (gamma 1/2.2 with a
 // linear toe) in place, lifting shadows before 8-bit quantization.
-func ApplyToneMap(img *raster.RGB) {
-	for _, ch := range [3][]float32{img.R, img.G, img.B} {
-		for i, v := range ch {
-			ch[i] = toneCurve(v)
+func ApplyToneMap(img *raster.RGB) { ApplyToneMapWorkers(img, 1) }
+
+// ApplyToneMapWorkers is ApplyToneMap with row-parallel execution.
+func ApplyToneMapWorkers(img *raster.RGB, workers int) {
+	w := img.W
+	raster.ParallelRows(img.H, workers, func(y0, y1 int) {
+		for _, ch := range [3][]float32{img.R, img.G, img.B} {
+			row := ch[y0*w : y1*w]
+			for i, v := range row {
+				row[i] = toneCurve(v)
+			}
 		}
-	}
+	})
 }
 
 func toneCurve(v float32) float32 {

@@ -1,0 +1,88 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFitterMatchesPolyFit pins the bit-identical-arithmetic contract:
+// the scratch-reusing Fitter must return exactly the coefficients of the
+// allocating PolyFit for varied sizes and degrees, including when the
+// same Fitter is reused across shrinking and growing systems.
+func TestFitterMatchesPolyFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var f Fitter
+	cases := []struct{ n, degree int }{
+		{3, 1}, {12, 2}, {80, 2}, {5, 4}, {200, 1}, {7, 2}, {300, 3}, {4, 2},
+	}
+	for _, tc := range cases {
+		xs := make([]float64, tc.n)
+		ys := make([]float64, tc.n)
+		for i := range xs {
+			xs[i] = rng.Float64()*40 - 5
+			ys[i] = rng.NormFloat64() * 2
+		}
+		want, werr := PolyFit(xs, ys, tc.degree)
+		got, gerr := f.PolyFit(xs, ys, tc.degree)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("n=%d deg=%d: error mismatch %v vs %v", tc.n, tc.degree, werr, gerr)
+		}
+		if werr != nil {
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d deg=%d: %d coeffs, want %d", tc.n, tc.degree, len(got), len(want))
+		}
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("n=%d deg=%d coeff %d: %v != %v (not bit-identical)",
+					tc.n, tc.degree, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFitterErrors(t *testing.T) {
+	var f Fitter
+	if _, err := f.PolyFit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := f.PolyFit([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Fatal("underdetermined system accepted")
+	}
+	// Identical xs make the Vandermonde rank-deficient for degree >= 1.
+	if _, err := f.PolyFit([]float64{2, 2, 2}, []float64{1, 1, 1}, 1); err != ErrSingular {
+		t.Fatalf("singular system: got %v, want ErrSingular", err)
+	}
+}
+
+func BenchmarkPolyFit(b *testing.B) {
+	xs := make([]float64, 120)
+	ys := make([]float64, 120)
+	for i := range xs {
+		xs[i] = float64(i) * 0.3
+		ys[i] = 0.5 + 0.01*xs[i] - 0.002*xs[i]*xs[i]
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PolyFit(xs, ys, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fitter", func(b *testing.B) {
+		var f Fitter
+		if _, err := f.PolyFit(xs, ys, 2); err != nil { // warm scratch
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.PolyFit(xs, ys, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

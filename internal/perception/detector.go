@@ -12,6 +12,11 @@ import (
 // independent: the bird's-eye view (BEV) is sampled directly from the
 // ground-plane mapping, so the same ROIs work for full-size and test-size
 // frames.
+//
+// Detect reuses per-detector scratch (BEV raster, filter buffers,
+// candidate-pixel slices, fit workspace) across invocations, so a
+// Detector must not run Detect concurrently with itself; parallel
+// closed-loop runs each construct their own Detector.
 type Detector struct {
 	Geo Geometry
 
@@ -29,6 +34,49 @@ type Detector struct {
 	// Quantize emulates the 8-bit image buffer the PR stage consumes on
 	// the target platform; disable only for diagnostics.
 	Quantize bool
+
+	// scratch holds the reusable per-invocation buffers. It is a pointer
+	// so the by-value working copy Detect makes shares (and persists) the
+	// grown capacity. Lazily initialized, so literal-constructed
+	// Detectors work too.
+	scratch *detScratch
+}
+
+// detScratch is the per-detector buffer arena. Every buffer is either
+// fully overwritten per invocation (bev, smooth, norm, mask, hist) or
+// reset to length zero and appended to (the candidate-pixel and fit
+// slices), so no state leaks between frames.
+type detScratch struct {
+	bev    raster.Gray
+	smooth []float32
+	norm   []float64
+	mask   []bool
+	hist   []int
+
+	leftXs, leftYs, rightXs, rightYs []float64
+	leftDs, leftCs, rightDs, rightCs []float64
+	ds, cs                           []float64
+	fit                              mat.Fitter
+}
+
+// ensure sizes the dense BEV buffers for a w×h raster.
+func (sc *detScratch) ensure(w, h int) {
+	n := w * h
+	sc.bev.W, sc.bev.H = w, h
+	if cap(sc.bev.Pix) < n {
+		sc.bev.Pix = make([]float32, n)
+		sc.smooth = make([]float32, n)
+		sc.norm = make([]float64, n)
+		sc.mask = make([]bool, n)
+	}
+	sc.bev.Pix = sc.bev.Pix[:n]
+	sc.smooth = sc.smooth[:n]
+	sc.norm = sc.norm[:n]
+	sc.mask = sc.mask[:n]
+	if cap(sc.hist) < w {
+		sc.hist = make([]int, w)
+	}
+	sc.hist = sc.hist[:w]
 }
 
 // NewDetector returns a detector with the defaults used by all paper
@@ -66,10 +114,15 @@ type Result struct {
 
 // Detect runs the full PR stage on an ISP-processed RGB frame.
 func (d *Detector) Detect(img *raster.RGB, roi ROI, lookAhead float64) Result {
+	if d.scratch == nil {
+		d.scratch = &detScratch{}
+	}
 	work := *d
 	work.BevW = d.bevWidth(roi)
-	score := work.scoreBEV(img, roi)
-	binary, any := binarize(score)
+	sc := work.scratch
+	sc.ensure(work.BevW, work.BevH)
+	score := work.scoreBEVInto(&sc.bev, img, roi)
+	binary, any := binarizeInto(score, sc.smooth, sc.norm, sc.mask)
 	if !any {
 		return Result{}
 	}
@@ -98,8 +151,14 @@ func (d *Detector) bevWidth(roi ROI) int {
 // lane-pixel score: luminance for white paint plus an R-B chroma term for
 // yellow paint.
 func (d *Detector) scoreBEV(img *raster.RGB, roi ROI) *raster.Gray {
+	return d.scoreBEVInto(raster.NewGray(d.BevW, d.BevH), img, roi)
+}
+
+// scoreBEVInto is scoreBEV writing into a caller-held raster sized
+// BevW×BevH. Every pixel is written (unmapped samples score 0), so out
+// may be a recycled buffer with arbitrary contents.
+func (d *Detector) scoreBEVInto(out *raster.Gray, img *raster.RGB, roi ROI) *raster.Gray {
 	w, h := d.BevW, d.BevH
-	out := raster.NewGray(w, h)
 	rPlane := &raster.Gray{W: img.W, H: img.H, Pix: img.R}
 	gPlane := &raster.Gray{W: img.W, H: img.H, Pix: img.G}
 	bPlane := &raster.Gray{W: img.W, H: img.H, Pix: img.B}
@@ -110,6 +169,7 @@ func (d *Detector) scoreBEV(img *raster.RGB, roi ROI) *raster.Gray {
 			lat := left + (right-left)*float64(col)/float64(w-1)
 			u, v, ok := d.Geo.GroundToImage(dist, lat)
 			if !ok || u < 0 || v < 0 || u > float64(img.W-1) || v > float64(img.H-1) {
+				out.Pix[row*w+col] = 0
 				continue
 			}
 			r := qz(rPlane.Sample(u, v), d.Quantize)
@@ -120,7 +180,7 @@ func (d *Detector) scoreBEV(img *raster.RGB, roi ROI) *raster.Gray {
 			if chroma < 0 {
 				chroma = 0
 			}
-			out.Set(col, row, luma+0.9*chroma)
+			out.Pix[row*w+col] = luma + 0.9*chroma
 		}
 	}
 	return out
@@ -188,13 +248,21 @@ const stripeTau = 3
 // normalized map's own statistics (the paper's "dynamic thresholding").
 // any is false when the mask is empty.
 func binarize(score *raster.Gray) (mask []bool, any bool) {
+	n := len(score.Pix)
+	return binarizeInto(score, make([]float32, n), make([]float64, n), make([]bool, n))
+}
+
+// binarizeInto is binarize with caller-held scratch. smooth, norm and
+// mask must each have len(score.Pix) elements; all three are fully
+// overwritten, so recycled buffers with stale contents are fine. The
+// returned mask aliases the mask argument.
+func binarizeInto(score *raster.Gray, smooth []float32, norm []float64, mask []bool) ([]bool, bool) {
 	w, h := score.W, score.H
 
 	// Vertical smoothing first: markings are vertically extended stripes
 	// in the bird's-eye view, so averaging a few rows is a matched filter
 	// that suppresses single-pixel texture speckle without blurring the
 	// stripe laterally.
-	smooth := make([]float32, len(score.Pix))
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			var s, wsum float32
@@ -216,15 +284,18 @@ func binarize(score *raster.Gray) (mask []bool, any bool) {
 	// stripes fire while one-sided brightness steps — shoulder edges, the
 	// rim of the headlight pool — cancel to ~zero:
 	//   r(x) = 2 v(x) - v(x-tau) - v(x+tau) - |v(x-tau) - v(x+tau)|
-	norm := make([]float64, len(score.Pix))
 	for y := 0; y < h; y++ {
 		row := smooth[y*w : (y+1)*w]
+		nrow := norm[y*w : (y+1)*w]
+		for i := range nrow {
+			nrow[i] = 0
+		}
 		for x := stripeTau; x < w-stripeTau; x++ {
 			l := float64(row[x-stripeTau])
 			r := float64(row[x+stripeTau])
 			resp := 2*float64(row[x]) - l - r - math.Abs(l-r)
 			if resp > 0 {
-				norm[y*w+x] = resp
+				nrow[x] = resp
 			}
 		}
 	}
@@ -244,18 +315,15 @@ func binarize(score *raster.Gray) (mask []bool, any bool) {
 	if th < threshFloor {
 		th = threshFloor
 	}
-	mask = make([]bool, len(norm))
 	for i, v := range norm {
-		if v > th {
-			mask[i] = true
-		}
+		mask[i] = v > th
 	}
 
 	// Stripe-width filter: painted markings are 2–3 BEV columns wide,
 	// while brightness steps (shoulder edges, the rim of the headlight
 	// pool) survive the top-hat as bands about as wide as its window.
 	// Clearing over-wide horizontal runs rejects those edges.
-	any = false
+	any := false
 	for y := 0; y < h; y++ {
 		runStart := -1
 		for x := 0; x <= w; x++ {
@@ -285,13 +353,23 @@ const maxStripeCols = 5
 // fit of Fig. 3b on the binarized BEV.
 func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Result {
 	w, h := d.BevW, d.BevH
+	sc := d.scratch
+	if sc == nil {
+		sc = &detScratch{}
+	}
 
 	// Histogram of the bottom half, split at the vehicle-axis column;
 	// dotted markings can have their near dash in a gap, so each side
 	// falls back to a full-height histogram when its peak is missing.
 	axisCol := d.latToCol(roi, h-1, 0)
 	peaks := func(top int) (lb, lp, rb, rp int) {
-		hist := make([]int, w)
+		if cap(sc.hist) < w {
+			sc.hist = make([]int, w)
+		}
+		hist := sc.hist[:w]
+		for i := range hist {
+			hist[i] = 0
+		}
 		for y := top; y < h; y++ {
 			for x := 0; x < w; x++ {
 				if mask[y*w+x] {
@@ -325,8 +403,10 @@ func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Resul
 	_ = rightPeak
 
 	res := Result{}
-	leftXs, leftYs := d.trackLane(mask, leftBase)
-	rightXs, rightYs := d.trackLane(mask, rightBase)
+	leftXs, leftYs := d.trackLane(mask, leftBase, sc.leftXs[:0], sc.leftYs[:0])
+	rightXs, rightYs := d.trackLane(mask, rightBase, sc.rightXs[:0], sc.rightYs[:0])
+	sc.leftXs, sc.leftYs = leftXs, leftYs
+	sc.rightXs, sc.rightYs = rightXs, rightYs
 	res.CandidatePixels = len(leftXs) + len(rightXs)
 
 	// Convert candidate pixels to ground coordinates and fold both
@@ -337,7 +417,8 @@ func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Resul
 	// supported over the whole ROI even when one side's near dash is in a
 	// gap — the failure mode a single-sided fit extrapolates through.
 	half := world.StandardLaneWidth / 2
-	toGround := func(xs, ys []float64, offset float64) (ds, lats []float64, meanLat float64) {
+	toGround := func(xs, ys []float64, offset float64, ds, lats []float64) ([]float64, []float64, float64) {
+		var meanLat float64
 		for i := range xs {
 			dist := d.rowToDist(roi, int(ys[i]))
 			lat := d.colToLat(roi, ys[i], xs[i])
@@ -350,8 +431,10 @@ func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Resul
 		}
 		return ds, lats, meanLat
 	}
-	leftDs, leftCs, leftMean := toGround(leftXs, leftYs, -half)
-	rightDs, rightCs, rightMean := toGround(rightXs, rightYs, +half)
+	leftDs, leftCs, leftMean := toGround(leftXs, leftYs, -half, sc.leftDs[:0], sc.leftCs[:0])
+	rightDs, rightCs, rightMean := toGround(rightXs, rightYs, +half, sc.rightDs[:0], sc.rightCs[:0])
+	sc.leftDs, sc.leftCs = leftDs, leftCs
+	sc.rightDs, sc.rightCs = rightDs, rightCs
 
 	res.LeftFound = len(leftDs) >= d.MinPixLane
 	res.RightFound = len(rightDs) >= d.MinPixLane
@@ -366,7 +449,7 @@ func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Resul
 		}
 	}
 
-	var ds, cs []float64
+	ds, cs := sc.ds[:0], sc.cs[:0]
 	if res.LeftFound {
 		ds = append(ds, leftDs...)
 		cs = append(cs, leftCs...)
@@ -375,6 +458,7 @@ func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Resul
 		ds = append(ds, rightDs...)
 		cs = append(cs, rightCs...)
 	}
+	sc.ds, sc.cs = ds, cs
 	if len(ds) < d.MinPixLane {
 		return res
 	}
@@ -397,7 +481,7 @@ func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Resul
 	if maxD-minD < 6 || minD > lookAhead+2.5 {
 		degree = 1
 	}
-	coeffs, err := mat.PolyFit(ds, cs, degree)
+	coeffs, err := sc.fit.PolyFit(ds, cs, degree)
 	if err != nil {
 		return res
 	}
@@ -415,10 +499,10 @@ func (d *Detector) slidingWindows(mask []bool, roi ROI, lookAhead float64) Resul
 
 // trackLane slides windows from the bottom to the top of the mask,
 // re-centering on the mean column of the pixels found, and returns the
-// candidate pixel coordinates (cols, rows).
-func (d *Detector) trackLane(mask []bool, base int) (xs, ys []float64) {
+// candidate pixel coordinates (cols, rows) appended to xs, ys.
+func (d *Detector) trackLane(mask []bool, base int, xs, ys []float64) ([]float64, []float64) {
 	if base < 0 {
-		return nil, nil
+		return xs, ys
 	}
 	w, h := d.BevW, d.BevH
 	winH := h / d.NumWindows

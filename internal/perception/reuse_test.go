@@ -1,0 +1,51 @@
+package perception
+
+import (
+	"testing"
+
+	"hsas/internal/camera"
+	"hsas/internal/isp"
+	"hsas/internal/world"
+)
+
+// TestDetectScratchReuseDeterministic pins the buffer-reuse contract:
+// repeated Detect calls on one Detector — across different frames, ROIs
+// (hence BEV widths) and back — must return exactly what a fresh
+// Detector returns for the same frame, i.e. no state leaks between
+// invocations through the recycled scratch.
+func TestDetectScratchReuseDeterministic(t *testing.T) {
+	type frame struct {
+		sit    world.Situation
+		s      float64
+		roiID  int
+		latOff float64
+	}
+	frames := []frame{
+		{world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}, 20, 1, 0},
+		{world.Situation{Layout: world.RightTurn, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}, world.LeadInLength + 8, 3, 0.2},
+		{world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.Yellow, Form: world.Dotted}, Scene: world.Night}, 20, 2, -0.3},
+	}
+	cam := camera.Default()
+	shared := NewDetector(NewGeometry(cam))
+	cfg, _ := isp.ByID("S0")
+
+	detect := func(d *Detector, f frame) Result {
+		tr := world.SituationTrack(f.sit)
+		rend := camera.NewRenderer(tr, cam)
+		raw := rend.RenderRAW(camera.PoseOnTrack(tr, f.s, f.latOff, 0), 99)
+		img := cfg.Process(raw)
+		roi, _ := ROIByID(f.roiID)
+		return d.Detect(img, roi, LookAhead)
+	}
+
+	// Interleave: A, B, C, then A and B again with warm scratch.
+	order := []int{0, 1, 2, 0, 1}
+	for pass, fi := range order {
+		got := detect(shared, frames[fi])
+		want := detect(NewDetector(NewGeometry(cam)), frames[fi])
+		if got != want {
+			t.Fatalf("pass %d frame %d: reused detector returned %+v, fresh returned %+v",
+				pass, fi, got, want)
+		}
+	}
+}

@@ -214,7 +214,17 @@ func (g *Gray) Sample(x, y float64) float32 {
 // Resize returns im resampled to w×h with bilinear interpolation. It is
 // used to shrink camera frames into classifier inputs.
 func (im *RGB) Resize(w, h int) *RGB {
-	out := NewRGB(w, h)
+	return im.ResizeInto(NewRGB(w, h))
+}
+
+// ResizeInto resamples im into out (whose dimensions select the target
+// size) and returns out. Every output pixel is written, so out may be a
+// recycled buffer with arbitrary contents. out must not alias im.
+func (im *RGB) ResizeInto(out *RGB) *RGB {
+	if out == im {
+		panic("raster: ResizeInto output aliases input")
+	}
+	w, h := out.W, out.H
 	sx := float64(im.W) / float64(w)
 	sy := float64(im.H) / float64(h)
 	planesIn := [][]float32{im.R, im.G, im.B}

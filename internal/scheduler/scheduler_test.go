@@ -102,3 +102,34 @@ func TestForCaseVariable(t *testing.T) {
 		t.Fatalf("ForCase(CaseVariable) = %v", p.Name())
 	}
 }
+
+// TestVariablePhaseSequence pins the exact road-window → lane-frame →
+// scene-frame cycling across a window boundary at a 100 ms frame period,
+// including the windowStart reset on the scene frame: the second road
+// window is timed from the scene frame (500 ms), so it ends at 800 ms,
+// not at 2*RoadWindowMs.
+func TestVariablePhaseSequence(t *testing.T) {
+	v := NewVariable()
+	want := []Invocation{
+		{Road: true},  // t=0: window [0, 300) opens
+		{Road: true},  // t=100
+		{Road: true},  // t=200
+		{Road: true},  // t=300: window elapsed; last road frame
+		{Lane: true},  // t=400
+		{Scene: true}, // t=500: window restarts here
+		{Road: true},  // t=600
+		{Road: true},  // t=700
+		{Road: true},  // t=800: 800-500 >= 300; last road frame
+		{Lane: true},  // t=900
+		{Scene: true}, // t=1000
+	}
+	for i, w := range want {
+		got := v.Next(float64(i) * 100)
+		if got != w {
+			t.Fatalf("frame %d (t=%d ms): got %+v, want %+v", i, i*100, got, w)
+		}
+		if got.Count() != 1 {
+			t.Fatalf("frame %d invokes %d classifiers", i, got.Count())
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"hsas/internal/knobs"
 	"hsas/internal/obs"
+	"hsas/internal/raster"
 )
 
 // Pipeline stage names, in execution order, used for the per-cycle stage
@@ -24,6 +25,8 @@ type simMetrics struct {
 	crashes     *obs.Counter
 	progressM   *obs.Gauge
 	speedKmph   *obs.Gauge
+	poolHits    *obs.Gauge
+	poolMisses  *obs.Gauge
 	stages      [len(stageNames)]*obs.Histogram
 }
 
@@ -37,6 +40,8 @@ func newSimMetrics(o *obs.Observer) *simMetrics {
 		crashes:     reg.Counter("hsas_sim_crashes_total", "runs ended by a crash"),
 		progressM:   reg.Gauge("hsas_sim_progress_m", "arclength progressed along the track"),
 		speedKmph:   reg.Gauge("hsas_sim_speed_kmph", "current knob speed"),
+		poolHits:    reg.Gauge("hsas_raster_pool_hits", "process-wide raster buffer pool hits"),
+		poolMisses:  reg.Gauge("hsas_raster_pool_misses", "process-wide raster buffer pool misses (fresh allocations)"),
 	}
 	for i, n := range stageNames {
 		m.stages[i] = reg.Histogram("hsas_sim_stage_seconds",
@@ -60,6 +65,9 @@ func (m *simMetrics) cycle(ts *[len(stageNames) + 1]time.Time, frame, sector int
 	if reconfigured {
 		m.reconfigs.Inc()
 	}
+	ps := raster.Stats()
+	m.poolHits.Set(float64(ps.Hits))
+	m.poolMisses.Set(float64(ps.Misses))
 	for i := range stageNames {
 		m.stages[i].Observe(ts[i+1].Sub(ts[i]).Seconds())
 	}

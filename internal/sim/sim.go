@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"hsas/internal/camera"
@@ -92,6 +93,14 @@ type Config struct {
 	FixedSetting     *knobs.Setting
 	FixedClassifiers int
 
+	// KernelWorkers bounds the goroutines used by the per-pixel image
+	// kernels (camera render, ISP stages) within ONE closed-loop run.
+	// 0 means GOMAXPROCS; negative forces serial. Characterization sweeps
+	// that already parallelize across candidate runs set this to 1 (or a
+	// divided share) so the two pools compose instead of oversubscribing.
+	// Results are byte-identical for any worker count.
+	KernelWorkers int
+
 	Seed       int64
 	StepS      float64 // physics step, default 0.005 (5 ms)
 	PreviewM   float64 // classifier preview distance, default 15 m
@@ -118,17 +127,28 @@ type Config struct {
 
 // TracePoint is one control-cycle sample for debugging and plots.
 type TracePoint struct {
-	TimeS   float64
-	S       float64
-	Lat     float64
-	YLTrue  float64
-	YLMeas  float64
-	DetOK   bool
-	Steer   float64
-	Sector  int
-	Setting knobs.Setting
-	HMs     float64
-	TauMs   float64
+	TimeS float64
+	S     float64
+	// Lat is the vehicle's lateral offset from the lane center (meters,
+	// same sign as Config.InitialLat) as of the most recent physics
+	// localization; the first sample reports the initial offset.
+	Lat    float64
+	YLTrue float64
+	YLMeas float64
+	// DetOK is the gated detection outcome actually consumed by the
+	// controller this cycle: false exactly when the cycle coasted (and
+	// was counted in Result.DetectFails), whether the cause was a
+	// perception miss or the innovation gate rejecting an outlier.
+	DetOK bool
+	// RawDetOK is the pre-gating perception verdict (Result.OK from the
+	// detector). RawDetOK && !DetOK means the innovation gate rejected
+	// the measurement; !RawDetOK implies !DetOK.
+	RawDetOK bool
+	Steer    float64
+	Sector   int
+	Setting  knobs.Setting
+	HMs      float64
+	TauMs    float64
 }
 
 // Result summarizes one closed-loop run.
@@ -195,10 +215,18 @@ func Run(cfg Config) (*Result, error) {
 		cfg.MaxTimeS = cfg.Track.Length()/vehicle.Kmph(25) + 10
 	}
 
+	kw := cfg.KernelWorkers
+	if kw == 0 {
+		kw = runtime.GOMAXPROCS(0)
+	}
+	if kw < 1 {
+		kw = 1
+	}
 	rend := camera.NewRenderer(cfg.Track, cfg.Camera)
+	rend.Workers = kw
 	det := perception.NewDetector(perception.NewGeometry(cfg.Camera))
 
-	r := &runner{cfg: cfg, rend: rend, det: det, designs: map[designKey]*control.Design{}}
+	r := &runner{cfg: cfg, rend: rend, det: det, workers: kw, designs: map[designKey]*control.Design{}}
 	if cfg.Obs.Enabled() {
 		r.met = newSimMetrics(cfg.Obs)
 		cfg.Obs.Logger().Info("sim run start",
@@ -228,6 +256,7 @@ type runner struct {
 	cfg     Config
 	rend    *camera.Renderer
 	det     *perception.Detector
+	workers int // resolved kernel worker count
 	designs map[designKey]*control.Design
 	met     *simMetrics // nil when observability is disabled
 }
@@ -302,6 +331,18 @@ func (r *runner) run() (*Result, error) {
 	plant := vehicle.NewPlant(cfg.Plant, vehicle.Kmph(setting.SpeedKmph), vehicle.State{X: vp.X, Y: vp.Y, Psi: vp.Psi})
 	targetSpeed := plant.Vx
 
+	// Frame buffers for the whole run, leased from the raster pool: the
+	// RAW mosaic plus a ping/pong RGB pair the ISP alternates between.
+	// Every kernel fully overwrites its output, so recycled contents are
+	// harmless.
+	fw, fh := cfg.Camera.Width, cfg.Camera.Height
+	raw := raster.GetBayer(fw, fh)
+	defer raster.PutBayer(raw)
+	frameA := raster.GetRGB(fw, fh)
+	defer raster.PutRGB(frameA)
+	frameB := raster.GetRGB(fw, fh)
+	defer raster.PutRGB(frameB)
+
 	s := cfg.StartS
 	endS := track.Length() - cfg.EndMargin
 	stepMs := cfg.StepS * 1000
@@ -313,6 +354,7 @@ func (r *runner) run() (*Result, error) {
 	ylPrev := 0.0
 	haveYl := false
 	gateRejects := 0
+	lastLat := cfg.InitialLat
 
 	for t := 0.0; t < cfg.MaxTimeS*1000; t += stepMs {
 		// ---- Actuation due at this instant (before a new capture may
@@ -345,11 +387,11 @@ func (r *runner) run() (*Result, error) {
 			// foreground, so turn handling is not released until the arc
 			// has actually passed beneath the vehicle.
 			truth := track.CameraSituationAhead(s, 0, cfg.PreviewM)
-			raw := r.rend.RenderRAW(camera.VehiclePose{X: plant.St.X, Y: plant.St.Y, Psi: plant.St.Psi, S: s}, cfg.Seed+int64(frame)*7919)
+			r.rend.RenderRAWInto(raw, camera.VehiclePose{X: plant.St.X, Y: plant.St.Y, Psi: plant.St.Psi, S: s}, cfg.Seed+int64(frame)*7919)
 			if instrumented {
 				ts[1] = time.Now()
 			}
-			rgb := activeISP.ProcessObserved(raw, oArg)
+			rgb := activeISP.ProcessObservedInto(raw, frameA, frameB, r.workers, oArg)
 			if instrumented {
 				ts[2] = time.Now()
 			}
@@ -427,8 +469,8 @@ func (r *runner) run() (*Result, error) {
 
 			if cfg.Trace != nil {
 				cfg.Trace(TracePoint{
-					TimeS: t / 1000, S: s, Lat: -0, YLTrue: ylTrue, YLMeas: pres.YL,
-					DetOK: pres.OK, Steer: u, Sector: track.SectorAt(s),
+					TimeS: t / 1000, S: s, Lat: lastLat, YLTrue: ylTrue, YLMeas: pres.YL,
+					DetOK: measOK, RawDetOK: pres.OK, Steer: u, Sector: track.SectorAt(s),
 					Setting: newSetting, HMs: timing.HMs, TauMs: timing.TauMs,
 				})
 			}
@@ -482,6 +524,7 @@ func (r *runner) run() (*Result, error) {
 			break
 		}
 		s = ns
+		lastLat = lat
 
 		// QoC sample: ground-truth lateral deviation at the look-ahead.
 		if ylTrue, tok := r.truthYL(plant, s); tok {

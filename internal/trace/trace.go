@@ -25,8 +25,12 @@ type Recorder struct {
 // Add appends one sample; pass it as the sim.Config.Trace callback.
 func (r *Recorder) Add(p sim.TracePoint) { r.Points = append(r.Points, p) }
 
+// csvHeader is the trace schema. det_ok is the GATED outcome the
+// controller consumed (false on every coasted cycle, matching
+// Result.DetectFails); raw_det_ok is the detector's pre-gating verdict,
+// so det_ok=false with raw_det_ok=true marks an innovation-gate reject.
 var csvHeader = []string{
-	"time_s", "s_m", "sector", "yl_true", "yl_meas", "det_ok",
+	"time_s", "s_m", "sector", "yl_true", "yl_meas", "det_ok", "raw_det_ok",
 	"steer", "isp", "roi", "speed_kmph", "h_ms", "tau_ms",
 }
 
@@ -44,6 +48,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.5f", p.YLTrue),
 			fmt.Sprintf("%.5f", p.YLMeas),
 			strconv.FormatBool(p.DetOK),
+			strconv.FormatBool(p.RawDetOK),
 			fmt.Sprintf("%.5f", p.Steer),
 			p.Setting.ISP,
 			strconv.Itoa(p.Setting.ROI),
@@ -100,12 +105,17 @@ func ReadCSV(r io.Reader) ([]sim.TracePoint, error) {
 			errs = append(errs, berr)
 		}
 		p.DetOK = detOK
-		p.Steer = f(6)
-		p.Setting.ISP = row[7]
-		p.Setting.ROI = n(8)
-		p.Setting.SpeedKmph = f(9)
-		p.HMs = f(10)
-		p.TauMs = f(11)
+		rawOK, berr := strconv.ParseBool(row[6])
+		if berr != nil {
+			errs = append(errs, berr)
+		}
+		p.RawDetOK = rawOK
+		p.Steer = f(7)
+		p.Setting.ISP = row[8]
+		p.Setting.ROI = n(9)
+		p.Setting.SpeedKmph = f(10)
+		p.HMs = f(11)
+		p.TauMs = f(12)
 		if len(errs) > 0 {
 			return nil, fmt.Errorf("trace: row %d: %v", i+2, errs[0])
 		}

@@ -18,15 +18,19 @@ func syntheticPoints() []sim.TracePoint {
 		// Decaying oscillation: settles below 0.2 m and stays there.
 		yl := 0.8 * math.Exp(-t) * math.Cos(4*t)
 		pts = append(pts, sim.TracePoint{
-			TimeS:   t,
-			S:       t * 8.3,
-			Sector:  1,
-			YLTrue:  yl,
-			YLMeas:  yl + 0.01,
-			DetOK:   i%10 != 0,
-			Steer:   -0.3 * yl,
-			Setting: knobs.Setting{ISP: "S3", ROI: 1, SpeedKmph: 30},
-			HMs:     25, TauMs: 25,
+			TimeS:  t,
+			S:      t * 8.3,
+			Sector: 1,
+			Lat:    0.1 * yl,
+			YLTrue: yl,
+			YLMeas: yl + 0.01,
+			DetOK:  i%10 != 0,
+			// Every 20th gated-out cycle had a raw detection the
+			// innovation gate rejected.
+			RawDetOK: i%10 != 0 || i%20 == 0,
+			Steer:    -0.3 * yl,
+			Setting:  knobs.Setting{ISP: "S3", ROI: 1, SpeedKmph: 30},
+			HMs:      25, TauMs: 25,
 		})
 	}
 	pts[50].Setting = knobs.Setting{ISP: "S8", ROI: 2, SpeedKmph: 30}
@@ -86,7 +90,8 @@ func TestCSVRoundTrip(t *testing.T) {
 	for i := range back {
 		a, b := back[i], rec.Points[i]
 		if math.Abs(a.YLTrue-b.YLTrue) > 1e-4 || a.Sector != b.Sector ||
-			a.DetOK != b.DetOK || a.Setting.ISP != b.Setting.ISP || a.Setting.ROI != b.Setting.ROI {
+			a.DetOK != b.DetOK || a.RawDetOK != b.RawDetOK ||
+			a.Setting.ISP != b.Setting.ISP || a.Setting.ROI != b.Setting.ROI {
 			t.Fatalf("point %d mismatch: %+v vs %+v", i, a, b)
 		}
 	}
@@ -99,14 +104,20 @@ func TestReadCSVErrors(t *testing.T) {
 	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,2\n")); err == nil {
 		t.Fatal("wrong header accepted")
 	}
-	bad := "time_s,s_m,sector,yl_true,yl_meas,det_ok,steer,isp,roi,speed_kmph,h_ms,tau_ms\nx,0,1,0,0,true,0,S0,1,50,25,25\n"
+	bad := "time_s,s_m,sector,yl_true,yl_meas,det_ok,raw_det_ok,steer,isp,roi,speed_kmph,h_ms,tau_ms\nx,0,1,0,0,true,true,0,S0,1,50,25,25\n"
 	if _, err := ReadCSV(bytes.NewBufferString(bad)); err == nil {
 		t.Fatal("malformed float accepted")
 	}
 	// det_ok must be a parseable bool, not silently coerced to false.
-	badBool := "time_s,s_m,sector,yl_true,yl_meas,det_ok,steer,isp,roi,speed_kmph,h_ms,tau_ms\n0,0,1,0,0,yes,0,S0,1,50,25,25\n"
+	badBool := "time_s,s_m,sector,yl_true,yl_meas,det_ok,raw_det_ok,steer,isp,roi,speed_kmph,h_ms,tau_ms\n0,0,1,0,0,yes,true,0,S0,1,50,25,25\n"
 	if _, err := ReadCSV(bytes.NewBufferString(badBool)); err == nil {
 		t.Fatal("malformed det_ok accepted")
+	}
+	// The pre-PR-2 11-column schema (no raw_det_ok) must be rejected, not
+	// misparsed with shifted columns.
+	old := "time_s,s_m,sector,yl_true,yl_meas,det_ok,steer,isp,roi,speed_kmph,h_ms,tau_ms\n0,0,1,0,0,true,0,S0,1,50,25,25\n"
+	if _, err := ReadCSV(bytes.NewBufferString(old)); err == nil {
+		t.Fatal("legacy 12-column schema accepted")
 	}
 }
 
@@ -181,6 +192,21 @@ func TestRecorderWithSim(t *testing.T) {
 	}
 	if len(rec.Points) != res.Frames {
 		t.Fatalf("recorded %d points for %d frames", len(rec.Points), res.Frames)
+	}
+	// det_ok consistency: the trace's gated outcome must reconcile
+	// exactly with Result.DetectFails, and the gate can only ever turn a
+	// raw detection OFF.
+	gatedOff := 0
+	for i, p := range rec.Points {
+		if !p.DetOK {
+			gatedOff++
+		}
+		if p.DetOK && !p.RawDetOK {
+			t.Fatalf("point %d: DetOK set without a raw detection", i)
+		}
+	}
+	if gatedOff != res.DetectFails {
+		t.Fatalf("trace has %d det_ok=false points, Result.DetectFails = %d", gatedOff, res.DetectFails)
 	}
 	m := Analyze(rec.Points)
 	if m.DetectionAvailability < 0.9 {
