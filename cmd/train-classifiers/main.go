@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"hsas/internal/classifier"
@@ -22,20 +23,32 @@ import (
 func main() {
 	n := flag.Int("n", 1200, "samples per classifier dataset")
 	epochs := flag.Int("epochs", 0, "training epochs (0 = per-kind default)")
+	workers := flag.Int("workers", 1, "data-parallel training goroutines (0 = GOMAXPROCS); trained weights are bit-identical for every value")
 	seed := flag.Int64("seed", 1, "dataset and init seed")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's Table IV dataset sizes")
 	out := flag.String("out", "", "directory to save trained models (gob)")
 	logLevel := flag.String("log-level", "", "enable per-epoch structured logging at this level: debug, info, warn or error")
+	metricsOut := flag.String("metrics-out", "", "after training, dump Prometheus text exposition (epoch wall-time, images/sec, accuracies) to this file ('-' for stderr)")
 	flag.Parse()
 
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+
 	var observer *obs.Observer
-	if *logLevel != "" {
-		lvl, err := obs.ParseLevel(*logLevel)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad -log-level %q: %v\n", *logLevel, err)
-			os.Exit(2)
+	var reg *obs.Registry
+	if *logLevel != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		observer = &obs.Observer{Metrics: reg}
+		if *logLevel != "" {
+			lvl, err := obs.ParseLevel(*logLevel)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -log-level %q: %v\n", *logLevel, err)
+				os.Exit(2)
+			}
+			observer.Log = obs.NewLogger(os.Stderr, lvl)
 		}
-		observer = &obs.Observer{Log: obs.NewLogger(os.Stderr, lvl)}
 	}
 
 	fmt.Println("Table IV — situation classifiers")
@@ -54,6 +67,7 @@ func main() {
 			tcfg.Epochs = *epochs
 		}
 		tcfg.Seed = *seed
+		tcfg.Workers = nWorkers
 
 		start := time.Now()
 		c, rep, err := classifier.TrainObserved(kind, dcfg, tcfg, observer)
@@ -80,4 +94,28 @@ func main() {
 		}
 	}
 	fmt.Println("\nProfiled per-classifier runtime on NVIDIA AGX Xavier: 5.5 ms (Table IV)")
+
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the training run's Prometheus exposition to path,
+// or to stderr for "-".
+func dumpMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = reg.WritePrometheus(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -10,6 +10,7 @@ package classifier
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hsas/internal/camera"
 	"hsas/internal/cnn"
@@ -289,16 +290,30 @@ func Train(kind Kind, dcfg DatasetConfig, tcfg cnn.TrainConfig) (*Classifier, Re
 // a trace span. A nil observer is exactly Train.
 func TrainObserved(kind Kind, dcfg DatasetConfig, tcfg cnn.TrainConfig, o *obs.Observer) (*Classifier, Report, error) {
 	reg := o.Registry()
+	var epochMark time.Time
+	var epochSamples int
 	if o.Enabled() {
 		epochC := reg.Counter("hsas_train_epochs_total", "training epochs completed", obs.L("classifier", kind.String()))
 		lossG := reg.Gauge("hsas_train_loss", "last epoch mean training loss", obs.L("classifier", kind.String()))
 		accG := reg.Gauge("hsas_train_accuracy", "last epoch training accuracy", obs.L("classifier", kind.String()))
+		secondsG := reg.Gauge("hsas_train_epoch_seconds", "wall time of the last training epoch", obs.L("classifier", kind.String()))
+		ipsG := reg.Gauge("hsas_train_images_per_sec", "training throughput of the last epoch", obs.L("classifier", kind.String()))
 		prev := tcfg.Log
 		tcfg.Log = func(epoch int, loss, acc float64) {
+			now := time.Now()
+			elapsed := now.Sub(epochMark).Seconds()
+			epochMark = now
+			ips := 0.0
+			if elapsed > 0 {
+				ips = float64(epochSamples) / elapsed
+			}
 			epochC.Inc()
 			lossG.Set(loss)
 			accG.Set(acc)
-			o.Logger().Info("train epoch", "classifier", kind.String(), "epoch", epoch, "loss", loss, "accuracy", acc)
+			secondsG.Set(elapsed)
+			ipsG.Set(ips)
+			o.Logger().Info("train epoch", "classifier", kind.String(), "epoch", epoch, "loss", loss, "accuracy", acc,
+				"seconds", elapsed, "images_per_sec", ips, "workers", tcfg.Workers)
 			if prev != nil {
 				prev(epoch, loss, acc)
 			}
@@ -316,6 +331,8 @@ func TrainObserved(kind Kind, dcfg DatasetConfig, tcfg cnn.TrainConfig, o *obs.O
 		return nil, Report{}, err
 	}
 	start = o.Tracer().Begin()
+	epochMark = time.Now()
+	epochSamples = len(train)
 	_, trainAcc := net.Fit(train, tcfg)
 	o.Tracer().Span("fit", "classifier", 0, start,
 		map[string]any{"classifier": kind.String(), "epochs": tcfg.Epochs, "train_n": len(train)})

@@ -3,16 +3,55 @@ package cnn
 import (
 	"fmt"
 	"math/rand"
+
+	"hsas/internal/mat"
 )
+
+// kernelWorkered is implemented by layers whose forward/backward passes
+// run GEMM kernels; Network.SetKernelWorkers fans the bound out to them.
+type kernelWorkered interface{ setKernelWorkers(int) }
+
+// layerWorkers translates the layer-level worker field (zero value =
+// never configured) into the bound handed to the mat kernels, where <= 0
+// means GOMAXPROCS. An unconfigured layer stays serial — that is what
+// keeps the steady-state Infer path goroutine- and allocation-free.
+func layerWorkers(w int) int { return max(w, 1) }
+
+// growF32 returns buf resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified — callers must fully
+// overwrite (the same dirty-buffer contract as the raster pools).
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
 
 // Conv2D is a 2D convolution with square kernels, configurable stride and
 // zero padding, plus a per-output-channel bias.
+//
+// Both passes run on the im2col + GEMM lowering from internal/mat: the
+// input is lowered to a (InC·K·K) × (OH·OW) patch matrix, forward is one
+// W·col product, and backward is grad·colᵀ (dW) plus Wᵀ·grad scattered by
+// col2im (dx). All scratch (patch matrix, padded copy, gradients) is
+// pooled per layer, so steady-state inference allocates nothing and
+// training reuses its buffers across minibatches. The lowered passes are
+// bit-identical to the naive reference convolution in reference.go
+// (golden-tested) for every kernel worker count.
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	W, B                      *Param
 
-	x   *Tensor // cached input (training)
-	out *Tensor // reused output (inference)
+	workers int // GEMM goroutine bound; 0/1 = serial
+
+	x        *Tensor   // cached input (training)
+	out      *Tensor   // reused output (inference)
+	trainOut *Tensor   // reused output (training)
+	dx       *Tensor   // reused input gradient
+	colBuf   []float32 // im2col patch matrix
+	padBuf   []float32 // zero-bordered input copy for the lowering
+	dcolBuf  []float32 // patch-matrix gradient (backward)
+	dpadBuf  []float32 // padded scatter target for col2im
 }
 
 // NewConv2D constructs a convolution layer with He initialization.
@@ -37,50 +76,44 @@ func (c *Conv2D) OutShape(ci, h, w int) (int, int, int) {
 	return c.OutC, (h+2*c.Pad-c.K)/c.Stride + 1, (w+2*c.Pad-c.K)/c.Stride + 1
 }
 
+func (c *Conv2D) setKernelWorkers(n int) { c.workers = n }
+
+// lower refreshes the pooled patch matrix from x and returns it.
+func (c *Conv2D) lower(x *Tensor) []float32 {
+	_, oh, ow := c.OutShape(x.C, x.H, x.W)
+	c.colBuf = growF32(c.colBuf, c.InC*c.K*c.K*oh*ow)
+	if c.Pad > 0 {
+		c.padBuf = growF32(c.padBuf, c.InC*(x.H+2*c.Pad)*(x.W+2*c.Pad))
+	}
+	mat.Im2col(x.Data, x.C, x.H, x.W, c.K, c.Stride, c.Pad, c.padBuf, c.colBuf)
+	return c.colBuf
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
 	if x.C != c.InC {
 		panic(fmt.Sprintf("cnn: %s got %d input channels", c.Name(), x.C))
 	}
-	if train {
-		c.x = x
-	}
 	_, oh, ow := c.OutShape(x.C, x.H, x.W)
 	var out *Tensor
 	if train {
-		out = NewTensor(c.OutC, oh, ow)
+		c.x = x
+		out = ensureTensor(&c.trainOut, c.OutC, oh, ow)
 	} else {
 		out = ensureTensor(&c.out, c.OutC, oh, ow)
 	}
+	col := c.lower(x)
+	// Seed each output channel with its bias, then accumulate W·col on
+	// top — the same "sum := bias" start as the reference convolution.
+	p := oh * ow
 	for oc := 0; oc < c.OutC; oc++ {
+		row := out.Data[oc*p : (oc+1)*p]
 		bias := c.B.Data[oc]
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				sum := bias
-				iy0 := oy*c.Stride - c.Pad
-				ix0 := ox*c.Stride - c.Pad
-				for ic := 0; ic < c.InC; ic++ {
-					wBase := ((oc*c.InC + ic) * c.K) * c.K
-					for ky := 0; ky < c.K; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= x.H {
-							continue
-						}
-						rowX := (ic*x.H + iy) * x.W
-						rowW := wBase + ky*c.K
-						for kx := 0; kx < c.K; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= x.W {
-								continue
-							}
-							sum += c.W.Data[rowW+kx] * x.Data[rowX+ix]
-						}
-					}
-				}
-				out.Data[(oc*oh+oy)*ow+ox] = sum
-			}
+		for j := range row {
+			row[j] = bias
 		}
 	}
+	mat.Gemm(c.OutC, p, c.InC*c.K*c.K, c.W.Data, col, out.Data, true, layerWorkers(c.workers))
 	return out
 }
 
@@ -90,47 +123,42 @@ func (c *Conv2D) Backward(grad *Tensor) *Tensor {
 	if x == nil {
 		panic("cnn: Conv2D.Backward before Forward(train=true)")
 	}
-	dx := NewTensor(x.C, x.H, x.W)
 	oh, ow := grad.H, grad.W
+	p := oh * ow
+	ckk := c.InC * c.K * c.K
+
+	// dB: per-channel sums of the output gradient, in position order.
 	for oc := 0; oc < c.OutC; oc++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				g := grad.Data[(oc*oh+oy)*ow+ox]
-				if g == 0 {
-					continue
-				}
-				c.B.Grad[oc] += g
-				iy0 := oy*c.Stride - c.Pad
-				ix0 := ox*c.Stride - c.Pad
-				for ic := 0; ic < c.InC; ic++ {
-					wBase := ((oc*c.InC + ic) * c.K) * c.K
-					for ky := 0; ky < c.K; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= x.H {
-							continue
-						}
-						rowX := (ic*x.H + iy) * x.W
-						rowW := wBase + ky*c.K
-						for kx := 0; kx < c.K; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= x.W {
-								continue
-							}
-							c.W.Grad[rowW+kx] += g * x.Data[rowX+ix]
-							dx.Data[rowX+ix] += g * c.W.Data[rowW+kx]
-						}
-					}
-				}
-			}
+		s := c.B.Grad[oc]
+		for _, g := range grad.Data[oc*p : (oc+1)*p] {
+			s += g
 		}
+		c.B.Grad[oc] = s
 	}
+
+	// Re-lower the cached input (cheap next to the GEMMs, and robust to
+	// inference calls between Forward(train=true) and Backward) and
+	// accumulate dW += grad · colᵀ.
+	col := c.lower(x)
+	mat.GemmNT(c.OutC, ckk, p, grad.Data, col, c.W.Grad, true, layerWorkers(c.workers))
+
+	// dx: dCol = Wᵀ · grad, scattered back onto the input grid.
+	c.dcolBuf = growF32(c.dcolBuf, ckk*p)
+	mat.GemmT(ckk, p, c.OutC, c.W.Data, grad.Data, c.dcolBuf, false, layerWorkers(c.workers))
+	dx := ensureTensor(&c.dx, x.C, x.H, x.W)
+	if c.Pad > 0 {
+		c.dpadBuf = growF32(c.dpadBuf, c.InC*(x.H+2*c.Pad)*(x.W+2*c.Pad))
+	}
+	mat.Col2im(c.dcolBuf, x.C, x.H, x.W, c.K, c.Stride, c.Pad, c.dpadBuf, dx.Data)
 	return dx
 }
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
-	out  *Tensor // reused output (inference)
+	mask     []bool
+	out      *Tensor // reused output (inference)
+	trainOut *Tensor // reused output (training)
+	dx       *Tensor // reused input gradient
 }
 
 // Name implements Layer.
@@ -145,12 +173,18 @@ func (r *ReLU) OutShape(c, h, w int) (int, int, int) { return c, h, w }
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
 	if train {
-		out := NewTensor(x.C, x.H, x.W)
-		r.mask = make([]bool, len(x.Data))
+		out := ensureTensor(&r.trainOut, x.C, x.H, x.W)
+		if cap(r.mask) < len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		r.mask = r.mask[:len(x.Data)]
 		for i, v := range x.Data {
-			if v > 0 {
+			pos := v > 0
+			r.mask[i] = pos
+			if pos {
 				out.Data[i] = v
-				r.mask[i] = true
+			} else {
+				out.Data[i] = 0
 			}
 		}
 		return out
@@ -168,10 +202,12 @@ func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *Tensor) *Tensor {
-	dx := NewTensor(grad.C, grad.H, grad.W)
+	dx := ensureTensor(&r.dx, grad.C, grad.H, grad.W)
 	for i, g := range grad.Data {
 		if r.mask[i] {
 			dx.Data[i] = g
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -182,6 +218,8 @@ type MaxPool2 struct {
 	argmax        []int
 	inC, inH, inW int
 	out           *Tensor // reused output (inference)
+	trainOut      *Tensor // reused output (training)
+	dx            *Tensor // reused input gradient
 }
 
 // Name implements Layer.
@@ -198,8 +236,11 @@ func (m *MaxPool2) Forward(x *Tensor, train bool) *Tensor {
 	oc, oh, ow := m.OutShape(x.C, x.H, x.W)
 	var out *Tensor
 	if train {
-		out = NewTensor(oc, oh, ow)
-		m.argmax = make([]int, oc*oh*ow)
+		out = ensureTensor(&m.trainOut, oc, oh, ow)
+		if cap(m.argmax) < oc*oh*ow {
+			m.argmax = make([]int, oc*oh*ow)
+		}
+		m.argmax = m.argmax[:oc*oh*ow]
 		m.inC, m.inH, m.inW = x.C, x.H, x.W
 	} else {
 		out = ensureTensor(&m.out, oc, oh, ow)
@@ -230,7 +271,8 @@ func (m *MaxPool2) Forward(x *Tensor, train bool) *Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2) Backward(grad *Tensor) *Tensor {
-	dx := NewTensor(m.inC, m.inH, m.inW)
+	dx := ensureTensor(&m.dx, m.inC, m.inH, m.inW)
+	clear(dx.Data)
 	for o, idx := range m.argmax {
 		dx.Data[idx] += grad.Data[o]
 	}
@@ -241,6 +283,8 @@ func (m *MaxPool2) Backward(grad *Tensor) *Tensor {
 type GlobalAvgPool struct {
 	inH, inW int
 	out      *Tensor // reused output (inference)
+	trainOut *Tensor // reused output (training)
+	dx       *Tensor // reused input gradient
 }
 
 // Name implements Layer.
@@ -257,7 +301,7 @@ func (g *GlobalAvgPool) Forward(x *Tensor, train bool) *Tensor {
 	var out *Tensor
 	if train {
 		g.inH, g.inW = x.H, x.W
-		out = NewTensor(x.C, 1, 1)
+		out = ensureTensor(&g.trainOut, x.C, 1, 1)
 	} else {
 		out = ensureTensor(&g.out, x.C, 1, 1)
 	}
@@ -274,7 +318,7 @@ func (g *GlobalAvgPool) Forward(x *Tensor, train bool) *Tensor {
 
 // Backward implements Layer.
 func (g *GlobalAvgPool) Backward(grad *Tensor) *Tensor {
-	dx := NewTensor(grad.C, g.inH, g.inW)
+	dx := ensureTensor(&g.dx, grad.C, g.inH, g.inW)
 	n := float32(g.inH * g.inW)
 	for c := 0; c < grad.C; c++ {
 		gv := grad.Data[c] / n
@@ -285,12 +329,20 @@ func (g *GlobalAvgPool) Backward(grad *Tensor) *Tensor {
 	return dx
 }
 
-// Dense is a fully connected layer over a flattened input.
+// Dense is a fully connected layer over a flattened input. Forward is a
+// GEMV (row-dots of W against the input), backward a rank-1 dW update and
+// a transposed GEMV for dx — all on the mat kernels, bit-identical to the
+// scalar reference in reference.go.
 type Dense struct {
 	In, Out int
 	W, B    *Param
-	x       *Tensor
-	out     *Tensor // reused output (inference)
+
+	workers int // GEMM goroutine bound; 0/1 = serial
+
+	x        *Tensor
+	out      *Tensor // reused output (inference)
+	trainOut *Tensor // reused output (training)
+	dx       *Tensor // reused input gradient
 }
 
 // NewDense constructs a fully connected layer.
@@ -309,6 +361,8 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // OutShape implements Layer.
 func (d *Dense) OutShape(c, h, w int) (int, int, int) { return d.Out, 1, 1 }
 
+func (d *Dense) setKernelWorkers(n int) { d.workers = n }
+
 // Forward implements Layer.
 func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
 	if len(x.Data) != d.In {
@@ -317,36 +371,27 @@ func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
 	var out *Tensor
 	if train {
 		d.x = x
-		out = NewTensor(d.Out, 1, 1)
+		out = ensureTensor(&d.trainOut, d.Out, 1, 1)
 	} else {
 		out = ensureTensor(&d.out, d.Out, 1, 1)
 	}
-	for o := 0; o < d.Out; o++ {
-		s := d.B.Data[o]
-		row := o * d.In
-		for i, v := range x.Data {
-			s += d.W.Data[row+i] * v
-		}
-		out.Data[o] = s
-	}
+	copy(out.Data, d.B.Data)
+	// out = bias + W·x: each output is a contiguous row-dot (A·Bᵀ with x
+	// as the single row of B).
+	mat.GemmNT(d.Out, 1, d.In, d.W.Data, x.Data, out.Data, true, layerWorkers(d.workers))
 	return out
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *Tensor) *Tensor {
-	dx := NewTensor(d.x.C, d.x.H, d.x.W)
-	for o := 0; o < d.Out; o++ {
-		g := grad.Data[o]
-		if g == 0 {
-			continue
-		}
+	for o, g := range grad.Data {
 		d.B.Grad[o] += g
-		row := o * d.In
-		for i, v := range d.x.Data {
-			d.W.Grad[row+i] += g * v
-			dx.Data[i] += g * d.W.Data[row+i]
-		}
 	}
+	// dW += grad ⊗ x (rank-1, k=1 GEMM).
+	mat.Gemm(d.Out, d.In, 1, grad.Data, d.x.Data, d.W.Grad, true, layerWorkers(d.workers))
+	// dx = Wᵀ · grad.
+	dx := ensureTensor(&d.dx, d.x.C, d.x.H, d.x.W)
+	mat.GemmT(d.In, 1, d.Out, d.W.Data, grad.Data, dx.Data, false, layerWorkers(d.workers))
 	return dx
 }
 
@@ -357,9 +402,8 @@ type Residual struct {
 	Conv1, Conv2 *Conv2D
 	Proj         *Conv2D // nil for identity skip
 	relu1, relu2 ReLU
-	skip         *Tensor
-	sumPre       *Tensor
 	sumOut       *Tensor // reused sum buffer (inference)
+	sumTrain     *Tensor // reused sum buffer (training)
 }
 
 // NewResidual constructs a basic block with inC->outC channels; when
@@ -395,6 +439,14 @@ func (r *Residual) OutShape(c, h, w int) (int, int, int) {
 	return r.Conv2.OutShape(c1, h1, w1)
 }
 
+func (r *Residual) setKernelWorkers(n int) {
+	r.Conv1.setKernelWorkers(n)
+	r.Conv2.setKernelWorkers(n)
+	if r.Proj != nil {
+		r.Proj.setKernelWorkers(n)
+	}
+}
+
 // Forward implements Layer.
 func (r *Residual) Forward(x *Tensor, train bool) *Tensor {
 	main := r.Conv2.Forward(r.relu1.Forward(r.Conv1.Forward(x, train), train), train)
@@ -407,16 +459,12 @@ func (r *Residual) Forward(x *Tensor, train bool) *Tensor {
 	}
 	var sum *Tensor
 	if train {
-		sum = NewTensor(main.C, main.H, main.W)
+		sum = ensureTensor(&r.sumTrain, main.C, main.H, main.W)
 	} else {
 		sum = ensureTensor(&r.sumOut, main.C, main.H, main.W)
 	}
 	for i := range sum.Data {
 		sum.Data[i] = main.Data[i] + skip.Data[i]
-	}
-	if train {
-		r.skip = skip
-		r.sumPre = sum
 	}
 	return r.relu2.Forward(sum, train)
 }

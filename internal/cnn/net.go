@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 )
 
 // Network is a sequential stack of layers trained with softmax
@@ -82,6 +83,27 @@ func (n *Network) Infer(x *Tensor) int {
 		}
 	}
 	return best
+}
+
+// SetKernelWorkers bounds the goroutines each GEMM-backed layer may use
+// for a single forward/backward pass, following the sim KernelWorkers
+// convention: 0 means GOMAXPROCS, negative means serial. Results are
+// bit-identical for every setting (the mat kernels' determinism
+// contract). Note that any bound above 1 makes Infer spawn goroutines,
+// trading the zero-alloc guarantee for latency — worth it for the larger
+// classifier shapes, not for unit-test-sized inputs.
+func (n *Network) SetKernelWorkers(workers int) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for _, l := range n.Layers {
+		if kw, ok := l.(kernelWorkered); ok {
+			kw.setKernelWorkers(workers)
+		}
+	}
 }
 
 // Softmax returns the normalized exponentials of v.
@@ -182,6 +204,13 @@ type TrainConfig struct {
 	Momentum    float64
 	WeightDecay float64
 	Seed        int64
+	// Workers is the number of goroutines that compute per-sample
+	// gradients within a minibatch; 0 or 1 trains serially. Trained
+	// weights are bit-identical for every value (see train.go), so this
+	// is purely a throughput knob. Parallel training requires every
+	// layer to be cloneable (the ResNetLite layer set); stateful layers
+	// like Dropout must train with Workers <= 1.
+	Workers int
 	// Log, when set, is invoked after every epoch with the epoch's mean
 	// loss and training accuracy.
 	Log func(epoch int, loss float64, acc float64)
@@ -191,62 +220,6 @@ type TrainConfig struct {
 // harness.
 func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 12, BatchSize: 16, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, Seed: 1}
-}
-
-// Fit trains the network on the samples and returns the final epoch's
-// mean loss and training accuracy.
-func (n *Network) Fit(samples []Sample, cfg TrainConfig) (loss, acc float64) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	idx := make([]int, len(samples))
-	for i := range idx {
-		idx[i] = i
-	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		// Step decay: halve the learning rate at 1/2 and 3/4 of training.
-		lr := cfg.LR
-		if epoch >= cfg.Epochs*3/4 {
-			lr = cfg.LR / 4
-		} else if epoch >= cfg.Epochs/2 {
-			lr = cfg.LR / 2
-		}
-		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		var sumLoss float64
-		correct := 0
-		n.ZeroGrad()
-		inBatch := 0
-		for _, si := range idx {
-			s := samples[si]
-			logits := n.Forward(s.X, true)
-			l, grad := LossAndGrad(logits, s.Label)
-			sumLoss += l
-			best := 0
-			for i := range logits.Data {
-				if logits.Data[i] > logits.Data[best] {
-					best = i
-				}
-			}
-			if best == s.Label {
-				correct++
-			}
-			n.Backward(grad)
-			inBatch++
-			if inBatch == cfg.BatchSize {
-				n.SGDStep(lr, cfg.Momentum, cfg.WeightDecay, inBatch)
-				n.ZeroGrad()
-				inBatch = 0
-			}
-		}
-		if inBatch > 0 {
-			n.SGDStep(lr, cfg.Momentum, cfg.WeightDecay, inBatch)
-			n.ZeroGrad()
-		}
-		loss = sumLoss / float64(len(samples))
-		acc = float64(correct) / float64(len(samples))
-		if cfg.Log != nil {
-			cfg.Log(epoch, loss, acc)
-		}
-	}
-	return loss, acc
 }
 
 // Evaluate returns the accuracy of the network on labeled samples.

@@ -1,0 +1,52 @@
+package cnn
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestPersistTrainedRoundTrip trains a small network, saves it to disk,
+// reloads it, and asserts the reloaded network carries bit-identical
+// weights and produces identical Infer labels.
+func TestPersistTrainedRoundTrip(t *testing.T) {
+	samples := toyDataset(12, 3, 2, 12, 12, 8)
+	net, err := ResNetLite(2, 12, 12, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	cfg.BatchSize = 4
+	net.Fit(samples, cfg)
+
+	path := filepath.Join(t.TempDir(), "net.gob")
+	if err := SaveFile(path, net); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantW, gotW := net.Weights(), loaded.Weights()
+	if len(gotW) != len(wantW) {
+		t.Fatalf("weight tensor count %d, want %d", len(gotW), len(wantW))
+	}
+	for pi := range wantW {
+		if len(gotW[pi]) != len(wantW[pi]) {
+			t.Fatalf("weight tensor %d length %d, want %d", pi, len(gotW[pi]), len(wantW[pi]))
+		}
+		for i := range wantW[pi] {
+			if math.Float32bits(gotW[pi][i]) != math.Float32bits(wantW[pi][i]) {
+				t.Fatalf("weight tensor %d element %d = %v, want %v", pi, i, gotW[pi][i], wantW[pi][i])
+			}
+		}
+	}
+
+	for i, s := range samples {
+		if got, want := loaded.Infer(s.X), net.Infer(s.X); got != want {
+			t.Fatalf("sample %d: reloaded Infer = %d, original = %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package cnn
+
+// Retained naive reference implementations for Conv2D and Dense. These
+// are the readable, obviously-correct six-loop kernels the GEMM-lowered
+// hot paths in layers.go replaced; the golden tests pin the lowered
+// passes bit-identical to them, and the benchmarks use them as the
+// baseline for the speedup claims in BENCH.md.
+//
+// Accumulation-order notes (what makes bitwise equality possible):
+//   - forward and dW/dB accumulate in the same order as the original
+//     scalar implementation: per output element the contraction runs in
+//     (ic, ky, kx) order, and per weight tap the positions run in
+//     (oy, ox) raster order — exactly the orders mat.Gemm / mat.GemmNT
+//     guarantee.
+//   - dx is written as a direct transposed convolution in (ic, ky, kx)-
+//     major, (oy, ox)-minor order with the oc-sum innermost, matching
+//     the GemmT-then-Col2im accumulation order of the lowered path.
+
+// refConvForward computes c's forward pass on x directly.
+func refConvForward(c *Conv2D, x *Tensor) *Tensor {
+	_, oh, ow := c.OutShape(x.C, x.H, x.W)
+	out := NewTensor(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := c.B.Data[oc]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := bias
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					wBase := ((oc*c.InC + ic) * c.K) * c.K
+					for ky := 0; ky < c.K; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= x.H {
+							continue
+						}
+						rowX := (ic*x.H + iy) * x.W
+						rowW := wBase + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= x.W {
+								continue
+							}
+							sum += c.W.Data[rowW+kx] * x.Data[rowX+ix]
+						}
+					}
+				}
+				out.Data[(oc*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// refConvBackward accumulates c's weight and bias gradients into dW and
+// dB for input x and output gradient grad, and returns the input
+// gradient.
+func refConvBackward(c *Conv2D, x, grad *Tensor, dW, dB []float32) *Tensor {
+	oh, ow := grad.H, grad.W
+
+	// dB and dW in the original interleaved (oc, oy, ox) traversal.
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grad.Data[(oc*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				dB[oc] += g
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					wBase := ((oc*c.InC + ic) * c.K) * c.K
+					for ky := 0; ky < c.K; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= x.H {
+							continue
+						}
+						rowX := (ic*x.H + iy) * x.W
+						rowW := wBase + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= x.W {
+								continue
+							}
+							dW[rowW+kx] += g * x.Data[rowX+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// dx as a transposed convolution: weight-tap major, output-position
+	// minor, channel sum innermost.
+	dx := NewTensor(x.C, x.H, x.W)
+	for ic := 0; ic < c.InC; ic++ {
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					if iy < 0 || iy >= x.H {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if ix < 0 || ix >= x.W {
+							continue
+						}
+						var t float32
+						for oc := 0; oc < c.OutC; oc++ {
+							t += c.W.Data[((oc*c.InC+ic)*c.K+ky)*c.K+kx] * grad.Data[(oc*oh+oy)*ow+ox]
+						}
+						dx.Data[(ic*x.H+iy)*x.W+ix] += t
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// refDenseForward computes d's forward pass on x directly.
+func refDenseForward(d *Dense, x *Tensor) *Tensor {
+	out := NewTensor(d.Out, 1, 1)
+	for o := 0; o < d.Out; o++ {
+		s := d.B.Data[o]
+		row := o * d.In
+		for i, v := range x.Data {
+			s += d.W.Data[row+i] * v
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// refDenseBackward accumulates d's gradients into dW and dB and returns
+// the input gradient for input x and output gradient grad.
+func refDenseBackward(d *Dense, x, grad *Tensor, dW, dB []float32) *Tensor {
+	dx := NewTensor(x.C, x.H, x.W)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		if g == 0 {
+			continue
+		}
+		dB[o] += g
+		row := o * d.In
+		for i, v := range x.Data {
+			dW[row+i] += g * v
+			dx.Data[i] += g * d.W.Data[row+i]
+		}
+	}
+	return dx
+}
+
+// refForward runs one layer's inference forward pass through the naive
+// reference kernels, decomposing composite layers; layers with no GEMM
+// lowering fall through to their normal Forward.
+func refForward(l Layer, x *Tensor) *Tensor {
+	switch v := l.(type) {
+	case *Conv2D:
+		return refConvForward(v, x)
+	case *Dense:
+		return refDenseForward(v, x)
+	case *Residual:
+		main := refForward(v.Conv2, v.relu1.Forward(refForward(v.Conv1, x), false))
+		skip := x
+		if v.Proj != nil {
+			skip = refForward(v.Proj, x)
+		}
+		sum := NewTensor(main.C, main.H, main.W)
+		for i := range sum.Data {
+			sum.Data[i] = main.Data[i] + skip.Data[i]
+		}
+		return v.relu2.Forward(sum, false)
+	default:
+		return l.Forward(x, false)
+	}
+}

@@ -1,0 +1,240 @@
+// Float32 GEMM kernels for the CNN compute path. Unlike the float64
+// solvers in this package (sized for 4–8 state controller design), these
+// operate on the large row-major matrices produced by the im2col conv
+// lowering, so they are cache-blocked, unrolled, and row-partitioned
+// across goroutines.
+//
+// Determinism contract: every output element accumulates its contraction
+// terms strictly in increasing index order, one term per statement, for
+// every blocking factor and worker count. Workers partition disjoint
+// output rows and never share accumulators, so results are bit-identical
+// for any worker count — the same property the image kernels guarantee
+// via raster.ParallelRows, and the property the cnn golden tests pin
+// against the naive reference convolution.
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// gemmKC is the contraction-dimension block: B-panel rows streamed per
+// pass stay resident while a C row is updated. 240 rows × a few KB per
+// row keeps the panel within L2 for the classifier shapes.
+const gemmKC = 240
+
+// gemmMinParallelWork is the m·n·k product below which the goroutine
+// fan-out costs more than it saves and the kernels stay serial.
+const gemmMinParallelWork = 1 << 15
+
+// Gemm computes C = A·B (m×k times k×n, row-major float32), adding into
+// the existing C when accumulate is true and overwriting it otherwise.
+// workers bounds the goroutines used (<= 1 or small problems run serial).
+func Gemm(m, n, k int, a, b, c []float32, accumulate bool, workers int) {
+	checkGemm("Gemm", m, k, k, n, m, n, len(a), len(b), len(c))
+	// The serial fast path avoids materializing the closure: on the
+	// zero-alloc inference path the parallel branch's goroutine capture
+	// would otherwise force a heap allocation per call.
+	if w := resolveWorkers(m, gemmWorkers(m, n, k, workers)); w <= 1 {
+		gemmNN(0, m, n, k, a, b, c, accumulate)
+	} else {
+		parallelRowRange(m, w, func(i0, i1 int) {
+			gemmNN(i0, i1, n, k, a, b, c, accumulate)
+		})
+	}
+}
+
+// GemmT computes C = Aᵀ·B where A is k×m and B is k×n (contraction over
+// the shared leading dimension), adding into C when accumulate is true.
+func GemmT(m, n, k int, a, b, c []float32, accumulate bool, workers int) {
+	checkGemm("GemmT", k, m, k, n, m, n, len(a), len(b), len(c))
+	if w := resolveWorkers(m, gemmWorkers(m, n, k, workers)); w <= 1 {
+		gemmTN(0, m, m, n, k, a, b, c, accumulate)
+	} else {
+		parallelRowRange(m, w, func(i0, i1 int) {
+			gemmTN(i0, i1, m, n, k, a, b, c, accumulate)
+		})
+	}
+}
+
+// GemmNT computes C = A·Bᵀ where A is m×k and B is n×k (both contraction
+// operands row-contiguous), adding into C when accumulate is true.
+func GemmNT(m, n, k int, a, b, c []float32, accumulate bool, workers int) {
+	checkGemm("GemmNT", m, k, n, k, m, n, len(a), len(b), len(c))
+	if w := resolveWorkers(m, gemmWorkers(m, n, k, workers)); w <= 1 {
+		gemmNT(0, m, n, k, a, b, c, accumulate)
+	} else {
+		parallelRowRange(m, w, func(i0, i1 int) {
+			gemmNT(i0, i1, n, k, a, b, c, accumulate)
+		})
+	}
+}
+
+// gemmNN is the A·B kernel over C rows [i0, i1). For each row the k loop
+// is blocked (B panel reuse) and unrolled by four; the per-element
+// accumulation order is strictly increasing k.
+func gemmNN(i0, i1, n, k int, a, b, c []float32, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*k : i*k+k]
+		if !accumulate {
+			clear(ci)
+		}
+		for k0 := 0; k0 < k; k0 += gemmKC {
+			k1 := min(k0+gemmKC, k)
+			kk := k0
+			for ; kk+4 <= k1; kk += 4 {
+				a0, a1, a2, a3 := ai[kk], ai[kk+1], ai[kk+2], ai[kk+3]
+				b0 := b[kk*n : kk*n+n][:len(ci)]
+				b1 := b[(kk+1)*n : (kk+1)*n+n][:len(ci)]
+				b2 := b[(kk+2)*n : (kk+2)*n+n][:len(ci)]
+				b3 := b[(kk+3)*n : (kk+3)*n+n][:len(ci)]
+				for j, v := range ci {
+					v += a0 * b0[j]
+					v += a1 * b1[j]
+					v += a2 * b2[j]
+					v += a3 * b3[j]
+					ci[j] = v
+				}
+			}
+			for ; kk < k1; kk++ {
+				av := ai[kk]
+				bk := b[kk*n : kk*n+n][:len(ci)]
+				for j := range ci {
+					ci[j] += av * bk[j]
+				}
+			}
+		}
+	}
+}
+
+// gemmTN is the Aᵀ·B kernel over C rows [i0, i1). The contraction index l
+// walks rows of A and B (both contiguous); per C element the order is
+// strictly increasing l.
+func gemmTN(i0, i1, m, n, k int, a, b, c []float32, accumulate bool) {
+	if !accumulate {
+		clear(c[i0*n : i1*n])
+	}
+	l := 0
+	for ; l+4 <= k; l += 4 {
+		al0 := a[l*m : l*m+m]
+		al1 := a[(l+1)*m : (l+1)*m+m]
+		al2 := a[(l+2)*m : (l+2)*m+m]
+		al3 := a[(l+3)*m : (l+3)*m+m]
+		bl0 := b[l*n : l*n+n]
+		bl1 := b[(l+1)*n : (l+1)*n+n]
+		bl2 := b[(l+2)*n : (l+2)*n+n]
+		bl3 := b[(l+3)*n : (l+3)*n+n]
+		for i := i0; i < i1; i++ {
+			ci := c[i*n : i*n+n]
+			a0, a1, a2, a3 := al0[i], al1[i], al2[i], al3[i]
+			b0, b1, b2, b3 := bl0[:len(ci)], bl1[:len(ci)], bl2[:len(ci)], bl3[:len(ci)]
+			for j, v := range ci {
+				v += a0 * b0[j]
+				v += a1 * b1[j]
+				v += a2 * b2[j]
+				v += a3 * b3[j]
+				ci[j] = v
+			}
+		}
+	}
+	for ; l < k; l++ {
+		al := a[l*m : l*m+m]
+		bl := b[l*n : l*n+n]
+		for i := i0; i < i1; i++ {
+			ci := c[i*n : i*n+n]
+			av := al[i]
+			bk := bl[:len(ci)]
+			for j := range ci {
+				ci[j] += av * bk[j]
+			}
+		}
+	}
+}
+
+// gemmNT is the A·Bᵀ kernel over C rows [i0, i1): each element is a dot
+// product of two contiguous rows, accumulated in increasing k with a
+// single accumulator (no split sums — determinism over speed).
+func gemmNT(i0, i1, n, k int, a, b, c []float32, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			bj := b[j*k : j*k+k][:len(ai)]
+			var v float32
+			if accumulate {
+				v = ci[j]
+			}
+			kk := 0
+			for ; kk+4 <= len(ai); kk += 4 {
+				v += ai[kk] * bj[kk]
+				v += ai[kk+1] * bj[kk+1]
+				v += ai[kk+2] * bj[kk+2]
+				v += ai[kk+3] * bj[kk+3]
+			}
+			for ; kk < len(ai); kk++ {
+				v += ai[kk] * bj[kk]
+			}
+			ci[j] = v
+		}
+	}
+}
+
+// gemmWorkers resolves the worker bound: small problems stay serial
+// regardless of the requested count.
+func gemmWorkers(m, n, k, workers int) int {
+	if m*n*k < gemmMinParallelWork {
+		return 1
+	}
+	return workers
+}
+
+// resolveWorkers turns a requested worker bound into an effective one:
+// <= 0 means GOMAXPROCS, and the bound never exceeds the row count.
+func resolveWorkers(rows, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return min(workers, rows)
+}
+
+// parallelRowRange splits [0, rows) into up to `workers` contiguous
+// chunks and runs fn on each concurrently. workers <= 0 uses GOMAXPROCS;
+// workers == 1 runs on the calling goroutine. This is the mat analog of
+// raster.ParallelRows (kept local so the numerics package stays free of
+// image-pipeline imports).
+func parallelRowRange(rows, workers int, fn func(i0, i1 int)) {
+	workers = resolveWorkers(rows, workers)
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := min(i0+chunk, rows)
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			fn(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// checkGemm validates operand dimensions against buffer lengths.
+// aR×aC, bR×bC, cR×cC are the storage shapes of the three operands.
+func checkGemm(op string, aR, aC, bR, bC, cR, cC, la, lb, lc int) {
+	if aR <= 0 || aC <= 0 || bR <= 0 || bC <= 0 {
+		panic(fmt.Sprintf("mat: %s invalid dimensions %dx%d * %dx%d", op, aR, aC, bR, bC))
+	}
+	if la < aR*aC || lb < bR*bC || lc < cR*cC {
+		panic(fmt.Sprintf("mat: %s buffer too short: a %d<%d, b %d<%d or c %d<%d",
+			op, la, aR*aC, lb, bR*bC, lc, cR*cC))
+	}
+}

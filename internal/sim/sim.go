@@ -94,7 +94,8 @@ type Config struct {
 	FixedClassifiers int
 
 	// KernelWorkers bounds the goroutines used by the per-pixel image
-	// kernels (camera render, ISP stages) within ONE closed-loop run.
+	// kernels (camera render, ISP stages) and by the CNN sensors' GEMM
+	// kernels within ONE closed-loop run.
 	// 0 means GOMAXPROCS; negative forces serial. Characterization sweeps
 	// that already parallelize across candidate runs set this to 1 (or a
 	// divided share) so the two pools compose instead of oversubscribing.
@@ -224,6 +225,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	rend := camera.NewRenderer(cfg.Track, cfg.Camera)
 	rend.Workers = kw
+	// CNN sensors inherit the same bound for their GEMM kernels; results
+	// are bit-identical for any worker count (the mat determinism
+	// contract), so this is purely a latency knob.
+	for _, s := range []Sensor{cfg.Sens.Road, cfg.Sens.Lane, cfg.Sens.Scene} {
+		if c, ok := s.(CNN); ok && c.C != nil && c.C.Net != nil {
+			c.C.Net.SetKernelWorkers(kw)
+		}
+	}
 	det := perception.NewDetector(perception.NewGeometry(cfg.Camera))
 
 	r := &runner{cfg: cfg, rend: rend, det: det, workers: kw, designs: map[designKey]*control.Design{}}
