@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"hsas/internal/camera"
+	"hsas/internal/fault"
 	"hsas/internal/knobs"
 	"hsas/internal/obs"
 	"hsas/internal/sim"
@@ -35,6 +36,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address during the run (e.g. :9090)")
 	traceOut := flag.String("trace-out", "", "write per-stage spans to this file (Chrome trace-event JSON; a .jsonl extension selects JSON lines)")
 	logLevel := flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error")
+	faultSpec := flag.String("faults", "", "deterministic fault schedule, e.g. 'drop:p=0.02;noise:mag=0.2@200-400;stuck:road=0@100-300' (kinds: drop, noise, isp, stuck, flip, overrun; windows are frame ranges)")
 	flag.Parse()
 
 	var c knobs.Case
@@ -99,10 +101,25 @@ func main() {
 		Seed:   *seed,
 		Obs:    observer,
 	}
+	if *faultSpec != "" {
+		sched, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults spec: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = sched
+	}
 	if *trace {
 		cfg.Trace = func(p sim.TracePoint) {
-			fmt.Printf("t=%7.3f s=%7.2f sector=%d lat=%+.3f ylTrue=%+.3f ylMeas=%+.3f ok=%v raw=%v steer=%+.4f %v h=%g tau=%.1f\n",
+			fmt.Printf("t=%7.3f s=%7.2f sector=%d lat=%+.3f ylTrue=%+.3f ylMeas=%+.3f ok=%v raw=%v steer=%+.4f %v h=%g tau=%.1f",
 				p.TimeS, p.S, p.Sector, p.Lat, p.YLTrue, p.YLMeas, p.DetOK, p.RawDetOK, p.Steer, p.Setting, p.HMs, p.TauMs)
+			if p.Fault != "" {
+				fmt.Printf(" fault=%s", p.Fault)
+			}
+			if p.Degraded {
+				fmt.Print(" degraded")
+			}
+			fmt.Println()
 		}
 	}
 
@@ -131,6 +148,11 @@ func main() {
 		fmt.Printf("  sector %d: MAE %.4f m (%d samples)\n", i, res.PerSector.Sector(i), res.PerSector.SectorN(i))
 	}
 	fmt.Printf("  overall MAE: %.4f m over %.1f m of track\n", res.MAE, res.CompletedS)
+	if cfg.Faults != nil {
+		fmt.Printf("  faults injected: %s (total %d)\n", res.Faults.String(), res.Faults.Total())
+		fmt.Printf("  degradation: %d frames held, %d fallback entries (%d cycles), %d deadline misses\n",
+			res.Degraded.HeldFrames, res.Degraded.FallbackEntries, res.Degraded.FallbackCycles, res.Degraded.DeadlineMisses)
+	}
 	if res.Crashed {
 		fmt.Printf("  CRASHED in sector %d at t=%.2f s\n", res.CrashSector, res.CrashTimeS)
 		os.Exit(3)

@@ -42,6 +42,7 @@ import (
 	"hsas/internal/cnn"
 	"hsas/internal/control"
 	"hsas/internal/core"
+	"hsas/internal/fault"
 	"hsas/internal/isp"
 	"hsas/internal/knobs"
 	"hsas/internal/obs"
@@ -181,6 +182,40 @@ var (
 	OracleSensors = sim.OracleSensors
 	ForCase       = scheduler.ForCase
 )
+
+// Deterministic fault injection and graceful degradation. A
+// FaultSchedule on SimConfig.Faults perturbs the sensing pipeline
+// (frame drops, RAW noise bursts, ISP corruption, classifier stuck-at /
+// bit-flips, actuation overruns); every decision is a hash of the run
+// seed, so the same seed replays the same faults bit for bit.
+type (
+	// FaultSchedule is a declarative set of fault events.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one windowed or probabilistic fault source.
+	FaultEvent = fault.Event
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = fault.Kind
+	// FaultCounts tallies injected events by kind.
+	FaultCounts = fault.Counts
+	// SimDegradation tunes the graceful-degradation policies.
+	SimDegradation = sim.Degradation
+	// SimDegradationStats summarizes one run's degradation activity.
+	SimDegradationStats = sim.DegradationStats
+)
+
+// Fault kinds.
+const (
+	FaultFrameDrop       = fault.FrameDrop
+	FaultNoiseBurst      = fault.NoiseBurst
+	FaultISPCorrupt      = fault.ISPCorrupt
+	FaultClassStuck      = fault.ClassStuck
+	FaultClassFlip       = fault.ClassFlip
+	FaultDeadlineOverrun = fault.DeadlineOverrun
+)
+
+// ParseFaultSpec parses the -faults text format (see the fault package
+// for the grammar), e.g. "drop:p=0.02;noise:mag=0.2@200-400".
+var ParseFaultSpec = fault.ParseSpec
 
 // Design flow (the paper's contribution).
 type (

@@ -1,0 +1,67 @@
+// Deterministic image-corruption kernels. Both run serially on purpose:
+// they execute only on frames where a fault fires, and a single xorshift
+// stream keyed by FrameHash keeps the corrupted bytes identical for any
+// pipeline worker count.
+package fault
+
+import "hsas/internal/raster"
+
+// xorshift64 advances a xorshift64* state; the caller seeds it with a
+// FrameHash so the stream is a pure function of (seed, frame).
+func xorshift64(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// AddBayerNoise adds a zero-mean uniform burst of amplitude sigma
+// (normalized photosite units) to every RAW sample, clamped to [0, 1].
+func AddBayerNoise(raw *raster.Bayer, sigma float64, streamSeed uint64) {
+	x := streamSeed | 1
+	s := float32(sigma)
+	for i := range raw.Pix {
+		x = xorshift64(x)
+		u := float32(rand01(x))*2 - 1
+		v := raw.Pix[i] + u*s
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		raw.Pix[i] = v
+	}
+}
+
+// CorruptRGBBand overwrites a horizontal band covering frac of the
+// image's rows with hash-derived garbage (a stuck-DMA / partial-frame
+// model). The band position and contents are pure functions of
+// streamSeed. frac is clamped to [0, 1]; frac <= 0 corrupts one row.
+func CorruptRGBBand(img *raster.RGB, frac float64, streamSeed uint64) {
+	if frac > 1 {
+		frac = 1
+	}
+	rows := int(frac * float64(img.H))
+	if rows < 1 {
+		rows = 1
+	}
+	y0 := 0
+	if rows < img.H {
+		y0 = int(streamSeed % uint64(img.H-rows+1))
+	} else {
+		rows = img.H
+	}
+	x := streamSeed | 1
+	for y := y0; y < y0+rows; y++ {
+		row := y * img.W
+		for i := row; i < row+img.W; i++ {
+			x = xorshift64(x)
+			// Saturated per-channel garbage: each channel snaps to 0 or 1
+			// from one hash bit, the high-contrast worst case for the
+			// gradient-based lane detector.
+			img.R[i] = float32(x & 1)
+			img.G[i] = float32((x >> 1) & 1)
+			img.B[i] = float32((x >> 2) & 1)
+		}
+	}
+}

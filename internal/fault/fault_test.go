@@ -1,0 +1,229 @@
+package fault
+
+import (
+	"testing"
+
+	"hsas/internal/raster"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in != NewInjector(nil, 1) {
+		t.Fatal("nil schedule must yield a nil injector")
+	}
+	if NewInjector(&Schedule{}, 1) != nil {
+		t.Fatal("empty schedule must yield a nil injector")
+	}
+	if in.Dropped(0) {
+		t.Fatal("nil injector dropped a frame")
+	}
+	if _, ok := in.Noise(0); ok {
+		t.Fatal("nil injector fired noise")
+	}
+	if _, ok := in.CorruptFrac(0); ok {
+		t.Fatal("nil injector fired corruption")
+	}
+	if c, _, ok := in.Class(0, Road, 2, 3); ok || c != 2 {
+		t.Fatalf("nil injector changed class: %d", c)
+	}
+	if _, ok := in.Overrun(0); ok {
+		t.Fatal("nil injector fired overrun")
+	}
+	if in.Counts().Total() != 0 {
+		t.Fatal("nil injector counted something")
+	}
+}
+
+func TestWindowedEventFiresExactlyInWindow(t *testing.T) {
+	s := &Schedule{Events: []Event{{Kind: FrameDrop, Start: 10, End: 20}}}
+	in := NewInjector(s, 42)
+	for f := 0; f < 40; f++ {
+		want := f >= 10 && f < 20
+		if got := in.Dropped(f); got != want {
+			t.Fatalf("frame %d: dropped = %v, want %v", f, got, want)
+		}
+	}
+	if n := in.Counts().Of(FrameDrop); n != 10 {
+		t.Fatalf("drop count = %d, want 10", n)
+	}
+	// Open-ended window.
+	in2 := NewInjector(&Schedule{Events: []Event{{Kind: FrameDrop, Start: 5}}}, 42)
+	if in2.Dropped(4) || !in2.Dropped(5) || !in2.Dropped(100000) {
+		t.Fatal("open-ended window mishandled")
+	}
+}
+
+// TestProbabilisticDecisionsAreOrderIndependent is the heart of the
+// determinism contract: firing decisions are pure functions of
+// (seed, frame, event index), so querying frames in any order, twice,
+// or interleaved with other queries changes nothing.
+func TestProbabilisticDecisionsAreOrderIndependent(t *testing.T) {
+	sched := &Schedule{Events: []Event{
+		{Kind: FrameDrop, Prob: 0.3},
+		{Kind: DeadlineOverrun, Prob: 0.5, Mag: 30},
+	}}
+	const n = 500
+	forward := make([]bool, n)
+	in := NewInjector(sched, 7)
+	fired := 0
+	for f := 0; f < n; f++ {
+		forward[f] = in.Dropped(f)
+		if forward[f] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == n {
+		t.Fatalf("p=0.3 fired %d/%d times", fired, n)
+	}
+	// Reverse order, interleaved with overrun queries.
+	in2 := NewInjector(sched, 7)
+	for f := n - 1; f >= 0; f-- {
+		in2.Overrun(f)
+		if got := in2.Dropped(f); got != forward[f] {
+			t.Fatalf("frame %d: order-dependent decision", f)
+		}
+	}
+	// A different seed must give a different pattern.
+	in3 := NewInjector(sched, 8)
+	same := 0
+	for f := 0; f < n; f++ {
+		if in3.Dropped(f) == forward[f] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed does not influence decisions")
+	}
+}
+
+func TestProbabilityRoughlyRespected(t *testing.T) {
+	in := NewInjector(&Schedule{Events: []Event{{Kind: FrameDrop, Prob: 0.25}}}, 99)
+	const n = 4000
+	fired := 0
+	for f := 0; f < n; f++ {
+		if in.Dropped(f) {
+			fired++
+		}
+	}
+	frac := float64(fired) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("p=0.25 fired at rate %.3f", frac)
+	}
+}
+
+func TestClassFaults(t *testing.T) {
+	in := NewInjector(&Schedule{Events: []Event{
+		{Kind: ClassStuck, Target: Road, Class: 7}, // clamped to numClasses-1
+		{Kind: ClassFlip, Target: Lane},
+	}}, 5)
+	c, k, ok := in.Class(3, Road, 0, 3)
+	if !ok || k != ClassStuck || c != 2 {
+		t.Fatalf("stuck: got (%d, %v, %v), want (2, stuck, true)", c, k, ok)
+	}
+	// Flips must always pick a DIFFERENT class, uniformly-ish.
+	seen := map[int]bool{}
+	for f := 0; f < 200; f++ {
+		c, k, ok := in.Class(f, Lane, 1, 4)
+		if !ok || k != ClassFlip {
+			t.Fatalf("flip did not fire on frame %d", f)
+		}
+		if c == 1 {
+			t.Fatalf("flip returned the current class on frame %d", f)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("flip covered %d classes, want 3", len(seen))
+	}
+	// Single-class taxonomy: a flip cannot fire.
+	if _, _, ok := in.Class(0, Lane, 0, 1); ok {
+		t.Fatal("flip fired with one class")
+	}
+	// Untargeted classifier: no fault.
+	if _, _, ok := in.Class(0, Scene, 0, 5); ok {
+		t.Fatal("scene fault fired without a scene event")
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	var m Mask
+	if m.String() != "" {
+		t.Fatalf("empty mask = %q", m.String())
+	}
+	m.Add(NoiseBurst)
+	if m.String() != "noise" {
+		t.Fatalf("single mask = %q", m.String())
+	}
+	m.Add(ClassStuck)
+	if m.String() != "noise+stuck" {
+		t.Fatalf("double mask = %q", m.String())
+	}
+	if !m.Has(NoiseBurst) || m.Has(FrameDrop) {
+		t.Fatal("Has misreports")
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	var c Counts
+	if c.String() != "none" {
+		t.Fatalf("zero counts = %q", c.String())
+	}
+	c[FrameDrop] = 2
+	c[DeadlineOverrun] = 1
+	if c.String() != "drop=2 overrun=1" {
+		t.Fatalf("counts = %q", c.String())
+	}
+	if c.Total() != 3 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestCorruptionKernelsDeterministic(t *testing.T) {
+	mk := func() *raster.Bayer {
+		b := raster.NewBayer(32, 16)
+		for i := range b.Pix {
+			b.Pix[i] = float32(i%7) / 7
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	AddBayerNoise(a, 0.2, FrameHash(3, 11))
+	AddBayerNoise(b, 0.2, FrameHash(3, 11))
+	changed := false
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("noise kernel nondeterministic at %d", i)
+		}
+		if a.Pix[i] != mk().Pix[i] {
+			changed = true
+		}
+		if a.Pix[i] < 0 || a.Pix[i] > 1 {
+			t.Fatalf("noise pushed sample outside [0,1]: %v", a.Pix[i])
+		}
+	}
+	if !changed {
+		t.Fatal("noise kernel changed nothing")
+	}
+
+	ra, rb := raster.NewRGB(32, 16), raster.NewRGB(32, 16)
+	CorruptRGBBand(ra, 0.25, FrameHash(3, 11))
+	CorruptRGBBand(rb, 0.25, FrameHash(3, 11))
+	corrupted := 0
+	for i := range ra.R {
+		if ra.R[i] != rb.R[i] || ra.G[i] != rb.G[i] || ra.B[i] != rb.B[i] {
+			t.Fatalf("corruption kernel nondeterministic at %d", i)
+		}
+		if ra.R[i] != 0 || ra.G[i] != 0 || ra.B[i] != 0 {
+			corrupted++
+		}
+	}
+	// 25% of 16 rows = 4 rows; garbage is 0/1 per channel so ~7/8 of
+	// band pixels differ from black.
+	if corrupted == 0 || corrupted > 5*32 {
+		t.Fatalf("corrupted %d pixels", corrupted)
+	}
+	// Full-frame corruption must not panic and must touch the frame.
+	CorruptRGBBand(raster.NewRGB(8, 4), 1.0, 1)
+	CorruptRGBBand(raster.NewRGB(8, 4), 2.5, 1) // clamped
+	CorruptRGBBand(raster.NewRGB(8, 4), 0, 1)   // one row
+}

@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec: the -faults parser must never panic on malformed
+// input, and every spec it accepts must render (Spec) and reparse to
+// the same schedule. Seeds beyond f.Add live in testdata/fuzz.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("drop@120-180;noise:mag=0.2,p=0.5@200-300")
+	f.Add("stuck:road=1@50-250;flip:lane,p=0.2;overrun:ms=30")
+	f.Add("isp:rows=0.4@100-")
+	f.Add(";;;")
+	f.Add("drop:p=")
+	f.Add("@")
+	f.Add("drop@-")
+	f.Add("drop@18446744073709551616-2")
+	f.Add("noise:mag=1e308@0-1")
+	f.Add("stuck:road=999999999999999999999")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			if s != nil {
+				t.Fatal("non-nil schedule with error")
+			}
+			return
+		}
+		if len(s.Events) == 0 {
+			t.Fatal("accepted spec with no events")
+		}
+		rendered := s.Spec()
+		s2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendered %q does not reparse: %v", spec, rendered, err)
+		}
+		if !reflect.DeepEqual(s.Events, s2.Events) {
+			t.Fatalf("%q: render/reparse drifted\n%#v\n%#v", spec, s.Events, s2.Events)
+		}
+		// An accepted schedule must also be safe to evaluate.
+		in := NewInjector(s, 1)
+		for _, frame := range []int{0, 1, 1 << 20} {
+			in.Dropped(frame)
+			in.Noise(frame)
+			in.CorruptFrac(frame)
+			in.Class(frame, Road, 0, 3)
+			in.Overrun(frame)
+		}
+	})
+}

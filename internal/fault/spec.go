@@ -1,0 +1,277 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Default magnitudes applied when a spec omits the parameter.
+const (
+	// DefaultNoiseMag is the RAW burst amplitude: ~10x the sensor's shot
+	// noise, enough to visibly degrade detection on any ISP config.
+	DefaultNoiseMag = 0.25
+	// DefaultCorruptFrac is the corrupted-row fraction of an ISP fault.
+	DefaultCorruptFrac = 0.25
+	// DefaultOverrunMs is the extra actuation delay of an overrun: more
+	// than any profiled period h, so an unparameterized overrun always
+	// exercises the missed-deadline watchdog.
+	DefaultOverrunMs = 50
+)
+
+// ParseSpec parses the declarative fault-schedule text format used by
+// the -faults flag:
+//
+//	spec   := event (';' event)*
+//	event  := kind [':' params] ['@' window]
+//	kind   := drop | noise | isp | stuck | flip | overrun
+//	params := param (',' param)*
+//	param  := key '=' value | target
+//	window := START '-' END | START '-' | START | '*'
+//
+// Windows are frame indices, END exclusive; a missing window or '*'
+// covers the whole run. Recognized params: p (per-frame probability,
+// default 1 = every frame of the window), mag (noise amplitude), rows
+// (corrupted row fraction), ms (extra delay), class (stuck-at class),
+// road/lane/scene (classifier target, bare or as target=class
+// shorthand). Examples:
+//
+//	drop@120-180                  drop every frame in [120,180)
+//	drop:p=0.05                   drop 5% of all frames
+//	noise:mag=0.2@200-300         RAW noise bursts of amplitude 0.2
+//	isp:rows=0.4,p=0.5@100-       corrupt 40% of rows on half the frames
+//	stuck:road=0@50-250           road classifier stuck at class 0
+//	flip:lane,p=0.2               lane classifier bit-flips 20% of frames
+//	overrun:ms=30@300-400         tau stretched by 30 ms
+//
+// ParseSpec never panics; malformed input returns an error.
+func ParseSpec(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	var s Schedule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		s.Events = append(s.Events, e)
+	}
+	if len(s.Events) == 0 {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	return &s, nil
+}
+
+func parseEvent(part string) (Event, error) {
+	var e Event
+
+	body := part
+	if at := strings.IndexByte(part, '@'); at >= 0 {
+		body = part[:at]
+		if err := parseWindow(part[at+1:], &e); err != nil {
+			return e, fmt.Errorf("fault: %q: %w", part, err)
+		}
+	}
+
+	kind := body
+	params := ""
+	if c := strings.IndexByte(body, ':'); c >= 0 {
+		kind, params = body[:c], body[c+1:]
+		if params == "" {
+			return e, fmt.Errorf("fault: %q: dangling ':'", part)
+		}
+	}
+
+	found := false
+	for k, name := range kindNames {
+		if kind == name {
+			e.Kind = Kind(k)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return e, fmt.Errorf("fault: %q: unknown kind %q (want drop|noise|isp|stuck|flip|overrun)", part, kind)
+	}
+
+	switch e.Kind {
+	case NoiseBurst:
+		e.Mag = DefaultNoiseMag
+	case ISPCorrupt:
+		e.Mag = DefaultCorruptFrac
+	case DeadlineOverrun:
+		e.Mag = DefaultOverrunMs
+	}
+
+	haveTarget, haveClass := false, false
+	if params != "" {
+		for _, p := range strings.Split(params, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return e, fmt.Errorf("fault: %q: empty parameter", part)
+			}
+			key, val := p, ""
+			hasVal := false
+			if eq := strings.IndexByte(p, '='); eq >= 0 {
+				key, val = p[:eq], p[eq+1:]
+				hasVal = true
+			}
+			if tgt, ok := parseTarget(key); ok {
+				e.Target = tgt
+				haveTarget = true
+				if hasVal {
+					n, err := strconv.Atoi(val)
+					if err != nil || n < 0 {
+						return e, fmt.Errorf("fault: %q: bad class %q", part, val)
+					}
+					e.Class = n
+					haveClass = true
+				}
+				continue
+			}
+			if !hasVal {
+				return e, fmt.Errorf("fault: %q: unknown parameter %q", part, p)
+			}
+			switch key {
+			case "p":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f <= 0 || f > 1 {
+					return e, fmt.Errorf("fault: %q: probability %q outside (0,1]", part, val)
+				}
+				if f == 1 {
+					f = 0 // canonical "every frame", Event.Prob's zero value
+				}
+				e.Prob = f
+			case "mag", "rows", "ms":
+				if wantKey := magKey(e.Kind); key != wantKey {
+					return e, fmt.Errorf("fault: %q: parameter %q does not apply to %q", part, key, e.Kind)
+				}
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f < 0 {
+					return e, fmt.Errorf("fault: %q: bad %s %q", part, key, val)
+				}
+				e.Mag = f
+			case "class":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return e, fmt.Errorf("fault: %q: bad class %q", part, val)
+				}
+				e.Class = n
+				haveClass = true
+			default:
+				return e, fmt.Errorf("fault: %q: unknown parameter %q", part, key)
+			}
+		}
+	}
+
+	if e.Kind == ClassStuck || e.Kind == ClassFlip {
+		if !haveTarget {
+			return e, fmt.Errorf("fault: %q: %s needs a classifier target (road|lane|scene)", part, e.Kind)
+		}
+		if e.Kind == ClassStuck && !haveClass {
+			return e, fmt.Errorf("fault: %q: stuck needs a class (e.g. stuck:road=0)", part)
+		}
+		if e.Kind == ClassFlip && haveClass {
+			return e, fmt.Errorf("fault: %q: flip picks its own class; drop the =N", part)
+		}
+	} else if haveTarget || haveClass {
+		return e, fmt.Errorf("fault: %q: classifier parameters do not apply to %q", part, e.Kind)
+	}
+	return e, nil
+}
+
+// magKey returns the spec key for a kind's magnitude ("" = none).
+func magKey(k Kind) string {
+	switch k {
+	case NoiseBurst:
+		return "mag"
+	case ISPCorrupt:
+		return "rows"
+	case DeadlineOverrun:
+		return "ms"
+	}
+	return ""
+}
+
+func parseTarget(s string) (Target, bool) {
+	for i, name := range targetNames {
+		if s == name {
+			return Target(i), true
+		}
+	}
+	return 0, false
+}
+
+func parseWindow(w string, e *Event) error {
+	w = strings.TrimSpace(w)
+	if w == "" || w == "*" {
+		return nil
+	}
+	start, end, ok := strings.Cut(w, "-")
+	n, err := strconv.Atoi(start)
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad window start %q", start)
+	}
+	e.Start = n
+	if !ok || end == "" {
+		if !ok {
+			// Bare frame index: a one-frame window.
+			e.End = n + 1
+		}
+		return nil
+	}
+	m, err := strconv.Atoi(end)
+	if err != nil || m <= e.Start {
+		return fmt.Errorf("bad window end %q (END is exclusive and must exceed START)", end)
+	}
+	e.End = m
+	return nil
+}
+
+// Spec renders the schedule back into the ParseSpec format; the output
+// reparses to an equivalent schedule.
+func (s *Schedule) Spec() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	for i := range s.Events {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		writeEventSpec(&b, &s.Events[i])
+	}
+	return b.String()
+}
+
+func writeEventSpec(b *strings.Builder, e *Event) {
+	b.WriteString(e.Kind.String())
+	var params []string
+	switch e.Kind {
+	case ClassStuck:
+		params = append(params, fmt.Sprintf("%s=%d", e.Target, e.Class))
+	case ClassFlip:
+		params = append(params, e.Target.String())
+	case NoiseBurst, ISPCorrupt, DeadlineOverrun:
+		params = append(params, fmt.Sprintf("%s=%s", magKey(e.Kind), strconv.FormatFloat(e.Mag, 'g', -1, 64)))
+	}
+	if e.Prob > 0 && e.Prob < 1 {
+		params = append(params, "p="+strconv.FormatFloat(e.Prob, 'g', -1, 64))
+	}
+	if len(params) > 0 {
+		b.WriteByte(':')
+		b.WriteString(strings.Join(params, ","))
+	}
+	if e.Start != 0 || e.End > 0 {
+		fmt.Fprintf(b, "@%d-", e.Start)
+		if e.End > 0 {
+			fmt.Fprintf(b, "%d", e.End)
+		}
+	}
+}

@@ -165,6 +165,17 @@ func PaperTable() Table {
 	return t
 }
 
+// FallbackSetting is the graceful-degradation tuning the runtime drops
+// to after consecutive sensing failures: the robust case-3 knobs — full
+// ISP pipeline (S0), fine-grained ROI, conservative layout speed. It
+// needs no characterized table and tolerates the largest sensing error
+// of any case that still adapts to the road layout, which is what makes
+// it the safe harbor when perception degrades (cf. Dean et al.'s bounded
+// perception-error argument in PAPERS.md).
+func FallbackSetting(sit world.Situation) Setting {
+	return CaseSetting(Case3, sit, nil)
+}
+
 // CaseSetting resolves the knob setting a case applies for a (believed)
 // situation, per Table V:
 //

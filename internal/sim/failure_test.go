@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"hsas/internal/camera"
+	"hsas/internal/fault"
 	"hsas/internal/knobs"
+	"hsas/internal/obs"
 	"hsas/internal/raster"
 	"hsas/internal/scheduler"
 	"hsas/internal/world"
@@ -120,6 +122,201 @@ func TestBadFixedISPErrors(t *testing.T) {
 		FixedSetting: &setting,
 	}); err == nil {
 		t.Fatal("unknown ISP accepted")
+	}
+}
+
+// turnConfig is the fault-matrix baseline: case 4 on the right-turn
+// track, the hardest paper situation for a degraded sensing pipeline.
+func turnConfig() Config {
+	sit := world.Situation{Layout: world.RightTurn, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	return Config{
+		Track:  world.SituationTrack(sit),
+		Camera: camera.Scaled(192, 96),
+		Case:   knobs.Case4,
+		Seed:   1,
+	}
+}
+
+// TestFaultMatrix runs every injectable fault class on the turn track.
+// The contract is graceful degradation: the run must complete without
+// panicking (crashed or recovered are both acceptable outcomes), the
+// injector must count events of that class, and the per-kind obs
+// counter must agree.
+func TestFaultMatrix(t *testing.T) {
+	cases := []struct {
+		spec string
+		kind fault.Kind
+	}{
+		{"drop@40-60", fault.FrameDrop},
+		{"drop:p=0.2", fault.FrameDrop},
+		{"noise:mag=0.3@30-90", fault.NoiseBurst},
+		{"isp:rows=0.5@30-90", fault.ISPCorrupt},
+		{"stuck:road=0@30-", fault.ClassStuck},
+		{"flip:lane,p=0.5", fault.ClassFlip},
+		{"overrun:ms=60@20-80", fault.DeadlineOverrun},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			sched, err := fault.ParseSpec(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.NewRegistry()
+			cfg := turnConfig()
+			cfg.Faults = sched
+			cfg.Obs = &obs.Observer{Metrics: reg}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("fault %q errored the run: %v", tc.spec, err)
+			}
+			if res.Frames == 0 {
+				t.Fatal("run did not progress")
+			}
+			got := res.Faults.Of(tc.kind)
+			if got == 0 {
+				t.Fatalf("fault %q injected no %s events: %s", tc.spec, tc.kind, res.Faults)
+			}
+			ctr := reg.Counter("hsas_fault_injected_total",
+				"fault events injected by the schedule, by kind", obs.L("kind", tc.kind.String()))
+			if ctr.Value() != got {
+				t.Fatalf("obs counter for %s = %d, injector counted %d", tc.kind, ctr.Value(), got)
+			}
+		})
+	}
+}
+
+// TestHoldLastBridgesDrops: with the default degradation policy a drop
+// window is bridged by re-issuing the last command, and every dropped
+// frame is visible as a DetectFail and a "drop" trace annotation.
+func TestHoldLastBridgesDrops(t *testing.T) {
+	sched, err := fault.ParseSpec("drop@40-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropPts, degradedPts int
+	cfg := turnConfig()
+	cfg.Faults = sched
+	cfg.Trace = func(p TracePoint) {
+		if p.Fault == "drop" {
+			dropPts++
+			if p.DetOK {
+				t.Error("dropped frame traced with DetOK=true")
+			}
+		}
+		if p.Degraded {
+			degradedPts++
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := int(res.Faults.Of(fault.FrameDrop))
+	if drops == 0 {
+		t.Fatal("window injected no drops")
+	}
+	if res.Degraded.HeldFrames != drops {
+		t.Fatalf("HeldFrames = %d, want one per drop (%d)", res.Degraded.HeldFrames, drops)
+	}
+	if dropPts != drops {
+		t.Fatalf("trace shows %d drop annotations for %d drops", dropPts, drops)
+	}
+	if res.DetectFails < drops {
+		t.Fatalf("DetectFails = %d does not include the %d drops", res.DetectFails, drops)
+	}
+
+	// DisableHoldLast coasts instead: the run must still complete and
+	// count zero held frames.
+	cfg2 := turnConfig()
+	cfg2.Faults = sched
+	cfg2.Degrade = Degradation{Enabled: true, DisableHoldLast: true}
+	res2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Degraded.HeldFrames != 0 {
+		t.Fatalf("coast policy held %d frames", res2.Degraded.HeldFrames)
+	}
+}
+
+// TestFallbackEngagesUnderCorruption: a long heavy-corruption burst must
+// push the degradation machine into the robust fallback tuning and out
+// again once the burst ends.
+func TestFallbackEngagesUnderCorruption(t *testing.T) {
+	sched, err := fault.ParseSpec("isp:rows=0.9@40-120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := turnConfig()
+	cfg.Faults = sched
+	cfg.Obs = &obs.Observer{Metrics: reg}
+	var fallbackTrace int
+	cfg.Trace = func(p TracePoint) {
+		if p.Degraded {
+			fallbackTrace++
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded.FallbackEntries == 0 {
+		t.Fatalf("heavy corruption never triggered fallback: %+v (faults %s)", res.Degraded, res.Faults)
+	}
+	if res.Degraded.FallbackCycles == 0 || fallbackTrace == 0 {
+		t.Fatalf("fallback entered but no cycles recorded: %+v, trace %d", res.Degraded, fallbackTrace)
+	}
+	fb := reg.Counter("hsas_sim_fallback_total", "entries into the robust fallback tuning")
+	if int(fb.Value()) != res.Degraded.FallbackEntries {
+		t.Fatalf("obs fallback counter %d != stats %d", fb.Value(), res.Degraded.FallbackEntries)
+	}
+}
+
+// TestOverrunTripsWatchdog: an overrun larger than the sampling period
+// leaves the actuation pending at the next capture; the watchdog must
+// record the miss (not panic) and the command must still be superseded.
+func TestOverrunTripsWatchdog(t *testing.T) {
+	sched, err := fault.ParseSpec("overrun:ms=80@20-60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := turnConfig()
+	cfg.Faults = sched
+	cfg.Obs = &obs.Observer{Metrics: reg}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded.DeadlineMisses == 0 {
+		t.Fatalf("80ms overruns missed no deadlines: %+v", res.Degraded)
+	}
+	dm := reg.Counter("hsas_sim_deadline_miss_total", "actuation deadlines missed (watchdog)")
+	if int(dm.Value()) != res.Degraded.DeadlineMisses {
+		t.Fatalf("obs deadline counter %d != stats %d", dm.Value(), res.Degraded.DeadlineMisses)
+	}
+}
+
+// TestNilScheduleKeepsDegradationSilent: without a schedule or explicit
+// Degrade.Enabled, the degradation machinery must stay inert — all-zero
+// stats and no fault annotations in the trace.
+func TestNilScheduleKeepsDegradationSilent(t *testing.T) {
+	cfg := turnConfig()
+	cfg.Trace = func(p TracePoint) {
+		if p.Fault != "" || p.Degraded {
+			t.Errorf("clean run traced fault=%q degraded=%v", p.Fault, p.Degraded)
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != (DegradationStats{}) {
+		t.Fatalf("clean run recorded degradation: %+v", res.Degraded)
+	}
+	if res.Faults.Total() != 0 {
+		t.Fatalf("clean run counted faults: %s", res.Faults)
 	}
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"time"
 
+	"hsas/internal/fault"
 	"hsas/internal/knobs"
 	"hsas/internal/obs"
 	"hsas/internal/raster"
@@ -28,6 +29,13 @@ type simMetrics struct {
 	poolHits    *obs.Gauge
 	poolMisses  *obs.Gauge
 	stages      [len(stageNames)]*obs.Histogram
+
+	// Fault-injection and graceful-degradation telemetry.
+	faults       [fault.NumKinds]*obs.Counter
+	holdLast     *obs.Counter
+	fallbacks    *obs.Counter
+	deadlineMiss *obs.Counter
+	degraded     *obs.Gauge
 }
 
 func newSimMetrics(o *obs.Observer) *simMetrics {
@@ -47,7 +55,34 @@ func newSimMetrics(o *obs.Observer) *simMetrics {
 		m.stages[i] = reg.Histogram("hsas_sim_stage_seconds",
 			"wall time per pipeline stage per control cycle", obs.DefBuckets, obs.L("stage", n))
 	}
+	for _, k := range fault.Kinds() {
+		m.faults[k] = reg.Counter("hsas_fault_injected_total",
+			"fault events injected by the schedule, by kind", obs.L("kind", k.String()))
+	}
+	m.holdLast = reg.Counter("hsas_sim_hold_last_total", "dropped frames bridged by re-issuing the last command")
+	m.fallbacks = reg.Counter("hsas_sim_fallback_total", "entries into the robust fallback tuning")
+	m.deadlineMiss = reg.Counter("hsas_sim_deadline_miss_total", "actuation deadlines missed (watchdog)")
+	m.degraded = reg.Gauge("hsas_sim_degraded", "1 while the robust fallback tuning is active")
 	return m
+}
+
+// degradation records fault and degradation telemetry for one cycle:
+// per-kind fault counters, the hold-last counter for bridged drops, and
+// the degraded-mode gauge.
+func (m *simMetrics) degradation(mask fault.Mask, inFallback, held bool) {
+	for k := 0; k < fault.NumKinds; k++ {
+		if mask.Has(fault.Kind(k)) {
+			m.faults[k].Inc()
+		}
+	}
+	if held {
+		m.holdLast.Inc()
+	}
+	if inFallback {
+		m.degraded.Set(1)
+	} else {
+		m.degraded.Set(0)
+	}
 }
 
 // cycle records one completed control cycle: the five stage latencies

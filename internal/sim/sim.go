@@ -20,6 +20,7 @@ import (
 	"hsas/internal/camera"
 	"hsas/internal/classifier"
 	"hsas/internal/control"
+	"hsas/internal/fault"
 	"hsas/internal/isp"
 	"hsas/internal/knobs"
 	"hsas/internal/metrics"
@@ -115,6 +116,20 @@ type Config struct {
 	// provided as an ablation (see bench_ablation_test.go).
 	UseFeedforward bool
 
+	// Faults, when non-nil, deterministically injects sensing and
+	// platform faults drawn from the run seed (see internal/fault):
+	// the same Config, seed and schedule reproduce a bit-identical run
+	// for any KernelWorkers value. The nil default adds only nil checks
+	// to the frame cycle (the obs.Observer zero-overhead rule).
+	Faults *fault.Schedule
+
+	// Degrade tunes the graceful-degradation policies (hold-last-command
+	// on dropped frames, robust-knob fallback after consecutive sensing
+	// failures, missed-deadline watchdog). The zero value applies the
+	// defaults; the policies engage only when Faults is set or
+	// Degrade.Enabled forces them on.
+	Degrade Degradation
+
 	// Trace, when set, receives one sample per control cycle.
 	Trace func(TracePoint)
 
@@ -150,6 +165,13 @@ type TracePoint struct {
 	Setting  knobs.Setting
 	HMs      float64
 	TauMs    float64
+	// Fault names the fault classes injected into this cycle, joined by
+	// '+' ("" on a clean cycle), e.g. "noise" or "drop" — see
+	// fault.Mask.String.
+	Fault string
+	// Degraded reports whether the robust fallback tuning governed this
+	// cycle's knob selection.
+	Degraded bool
 }
 
 // Result summarizes one closed-loop run.
@@ -165,6 +187,11 @@ type Result struct {
 	Detection   metrics.DetectionAccuracy
 	// SettingsUsed records the distinct knob settings applied, in order.
 	SettingsUsed []knobs.Setting
+	// Faults tallies injected fault events by kind (all zero without a
+	// fault schedule).
+	Faults fault.Counts
+	// Degraded summarizes the graceful-degradation activity of the run.
+	Degraded DegradationStats
 }
 
 // Crash thresholds: the run fails when the vehicle center leaves the
@@ -358,12 +385,19 @@ func (r *runner) run() (*Result, error) {
 	nextFrameMs := 0.0
 	actT := math.Inf(1) // time of the pending actuation, ms
 	actU := 0.0
+	lastU := 0.0 // last scheduled command, re-issued by hold-last
 	curvEMA := 0.0
 	frame := 0
 	ylPrev := 0.0
 	haveYl := false
 	gateRejects := 0
 	lastLat := cfg.InitialLat
+
+	// Fault injection and graceful degradation. A nil schedule yields a
+	// nil injector whose queries are nil checks, and an inactive degrade
+	// state that reproduces the fault-free loop bit-identically.
+	inj := fault.NewInjector(cfg.Faults, cfg.Seed)
+	deg := newDegrade(&cfg)
 
 	for t := 0.0; t < cfg.MaxTimeS*1000; t += stepMs {
 		// ---- Actuation due at this instant (before a new capture may
@@ -375,6 +409,67 @@ func (r *runner) run() (*Result, error) {
 				r.met.actuate(t, actU)
 			}
 			actT = math.Inf(1)
+		}
+
+		// ---- Fault gate at the sampling instants: watchdog + frame
+		// drops. A dropped frame advances the frame clock here, so the
+		// pipeline block below never sees it. ----
+		if t >= nextFrameMs-1e-9 {
+			// Missed-deadline watchdog: a command still pending at the
+			// next capture means tau stretched past h — an injected
+			// overrun, or a retiming reconfiguration shortening h under
+			// a command in flight. Record it — the stale command is
+			// superseded by this cycle's output — rather than panicking
+			// the loop. (The superseding itself predates the watchdog;
+			// recording engages with the degradation layer.)
+			if deg.active && !math.IsInf(actT, 1) {
+				deg.stats.DeadlineMisses++
+				if r.met != nil {
+					r.met.deadlineMiss.Inc()
+				}
+				cfg.Obs.Logger().Warn("actuation deadline missed",
+					"frame", frame, "sim_t_ms", t, "pending_ms", actT)
+				actT = math.Inf(1)
+			}
+
+			if inj.Dropped(frame) {
+				// Camera blackout: nothing reaches the ISP or perception
+				// this cycle. Hold the last actuation command (default)
+				// or coast the controller's predictor, count the cycle
+				// as a detection failure, and feed the fallback machine.
+				res.DetectFails++
+				var u float64
+				if deg.holdLast {
+					u = lastU
+					deg.stats.HeldFrames++
+				} else {
+					u = ctl.Coast()
+				}
+				actT = t + cfg.Platform.CeilToStep(timing.TauMs)
+				actU = u
+				lastU = u
+				var dropMask fault.Mask
+				dropMask.Add(fault.FrameDrop)
+				if r.met != nil {
+					r.met.degradation(dropMask, deg.inFallback, deg.holdLast)
+				}
+				if cfg.Trace != nil {
+					ylTrue, _ := r.truthYL(plant, s)
+					cfg.Trace(TracePoint{
+						TimeS: t / 1000, S: s, Lat: lastLat, YLTrue: ylTrue,
+						Steer: u, Sector: track.SectorAt(s),
+						Setting: setting, HMs: timing.HMs, TauMs: timing.TauMs,
+						Fault: dropMask.String(), Degraded: deg.inFallback,
+					})
+				}
+				prevEntries := deg.stats.FallbackEntries
+				deg.observe(false)
+				if r.met != nil && deg.stats.FallbackEntries != prevEntries {
+					r.met.fallbacks.Inc()
+				}
+				nextFrameMs += timing.HMs
+				frame++
+			}
 		}
 
 		// ---- Sensing pipeline at the sampling instants ----
@@ -397,29 +492,54 @@ func (r *runner) run() (*Result, error) {
 			// has actually passed beneath the vehicle.
 			truth := track.CameraSituationAhead(s, 0, cfg.PreviewM)
 			r.rend.RenderRAWInto(raw, camera.VehiclePose{X: plant.St.X, Y: plant.St.Y, Psi: plant.St.Psi, S: s}, cfg.Seed+int64(frame)*7919)
+			var fmask fault.Mask
+			if sigma, ok := inj.Noise(frame); ok {
+				fault.AddBayerNoise(raw, sigma, fault.FrameHash(cfg.Seed, frame))
+				fmask.Add(fault.NoiseBurst)
+			}
 			if instrumented {
 				ts[1] = time.Now()
 			}
 			rgb := activeISP.ProcessObservedInto(raw, frameA, frameB, r.workers, oArg)
+			if frac, ok := inj.CorruptFrac(frame); ok {
+				fault.CorruptRGBBand(rgb, frac, fault.FrameHash(cfg.Seed, frame))
+				fmask.Add(fault.ISPCorrupt)
+			}
 			if instrumented {
 				ts[2] = time.Now()
 			}
 
 			// Situation identification on the ISP output (Fig. 2).
+			// Classifier faults (stuck-at / bit flip) overwrite the
+			// sensor's verdict at its output, so they corrupt the belief
+			// exactly when the policy actually invokes that classifier.
 			inv := cfg.Policy.Next(t)
 			if inv.Road {
 				bel.road = clampClass(cfg.Sens.Road.Classify(rgb, truth), world.NumRoadClasses)
+				if c, k, ok := inj.Class(frame, fault.Road, bel.road, world.NumRoadClasses); ok {
+					bel.road = c
+					fmask.Add(k)
+				}
 			}
 			if inv.Lane {
 				bel.lane = clampClass(cfg.Sens.Lane.Classify(rgb, truth), world.NumLaneClasses)
+				if c, k, ok := inj.Class(frame, fault.Lane, bel.lane, world.NumLaneClasses); ok {
+					bel.lane = c
+					fmask.Add(k)
+				}
 			}
 			if inv.Scene {
 				bel.scene = clampClass(cfg.Sens.Scene.Classify(rgb, truth), world.NumSceneClasses)
+				if c, k, ok := inj.Class(frame, fault.Scene, bel.scene, world.NumSceneClasses); ok {
+					bel.scene = c
+					fmask.Add(k)
+				}
 			}
 
-			// Knob selection from the believed situation. PR and control
-			// knobs apply in this cycle; the ISP knob next cycle.
-			newSetting := knobs.CaseSetting(cfg.Case, bel.situation(), cfg.Table)
+			// Knob selection from the believed situation (the robust
+			// fallback tuning while degraded). PR and control knobs apply
+			// in this cycle; the ISP knob next cycle.
+			newSetting := deg.setting(cfg.Case, bel.situation(), cfg.Table)
 			if cfg.FixedSetting != nil {
 				newSetting = *cfg.FixedSetting
 			}
@@ -448,9 +568,18 @@ func (r *runner) run() (*Result, error) {
 			// after a few consecutive rejections so the loop cannot lock
 			// out a genuine change.
 			measOK := pres.OK
-			if measOK && haveYl && gateRejects < 3 && math.Abs(pres.YL-ylPrev) > ylGate {
-				measOK = false
-				gateRejects++
+			forcedAccept := false
+			if measOK && haveYl && math.Abs(pres.YL-ylPrev) > ylGate {
+				if gateRejects < 3 {
+					measOK = false
+					gateRejects++
+				} else {
+					// Saturated gate: accept the implausible jump so a
+					// genuine change cannot be locked out, but flag it
+					// — the fallback machine counts it as a bad sample.
+					forcedAccept = true
+					gateRejects = 0
+				}
 			} else if measOK {
 				gateRejects = 0
 			}
@@ -468,12 +597,21 @@ func (r *runner) run() (*Result, error) {
 				u = ctl.Coast()
 			}
 			// Actuation tau after capture, ceiled to the simulation step.
-			actT = t + cfg.Platform.CeilToStep(timing.TauMs)
+			// An injected overrun stretches this one command's delay; the
+			// watchdog above records it if it slips past the next capture.
+			tauEffMs := timing.TauMs
+			if extra, ok := inj.Overrun(frame); ok {
+				tauEffMs += extra
+				fmask.Add(fault.DeadlineOverrun)
+			}
+			actT = t + cfg.Platform.CeilToStep(tauEffMs)
 			actU = u
+			lastU = u
 			if instrumented {
 				ts[5] = time.Now()
 				r.met.cycle(&ts, frame, track.SectorAt(s), t, s, newSetting,
 					timing.HMs, timing.TauMs, pres.OK, measOK, newSetting != setting)
+				r.met.degradation(fmask, deg.inFallback, false)
 			}
 
 			if cfg.Trace != nil {
@@ -481,7 +619,17 @@ func (r *runner) run() (*Result, error) {
 					TimeS: t / 1000, S: s, Lat: lastLat, YLTrue: ylTrue, YLMeas: pres.YL,
 					DetOK: measOK, RawDetOK: pres.OK, Steer: u, Sector: track.SectorAt(s),
 					Setting: newSetting, HMs: timing.HMs, TauMs: timing.TauMs,
+					Fault: fmask.String(), Degraded: deg.inFallback,
 				})
+			}
+
+			// Feed the fallback machine after tracing: a mode flip
+			// governs the NEXT cycle's knob selection (one cycle of
+			// reconfiguration delay, like the ISP knob).
+			prevEntries := deg.stats.FallbackEntries
+			deg.observe(measOK && !forcedAccept)
+			if r.met != nil && deg.stats.FallbackEntries != prevEntries {
+				r.met.fallbacks.Inc()
 			}
 
 			// Apply reconfiguration: speed now, ISP next cycle, and
@@ -556,6 +704,14 @@ func (r *runner) run() (*Result, error) {
 	res.CompletedS = s - cfg.StartS
 	res.Frames = frame
 	res.MAE = res.PerSector.Overall()
+	res.Faults = inj.Counts()
+	res.Degraded = deg.stats
+	if inj != nil {
+		cfg.Obs.Logger().Info("fault injection summary",
+			"faults", res.Faults.String(), "held_frames", deg.stats.HeldFrames,
+			"fallback_entries", deg.stats.FallbackEntries, "fallback_cycles", deg.stats.FallbackCycles,
+			"deadline_misses", deg.stats.DeadlineMisses)
+	}
 	return res, nil
 }
 

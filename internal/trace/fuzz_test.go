@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the trace loader must never panic on malformed input —
+// truncated rows, garbage numerics, header-only files, binary noise.
+// Seeds beyond f.Add live in testdata/fuzz.
+func FuzzReadCSV(f *testing.F) {
+	var good bytes.Buffer
+	rec := &Recorder{Points: syntheticPoints()[:3]}
+	if err := rec.WriteCSV(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(strings.Join(csvHeader, ",") + "\n"))
+	f.Add([]byte("time_s,s_m\n1,2\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(strings.Join(csvHeader, ",") + "\nx,y,z,a,b,c,d,e,f,g,h,i,j,k,l\n"))
+	// Legacy 13-column trace without the fault annotations.
+	f.Add([]byte("time_s,s_m,sector,yl_true,yl_meas,det_ok,raw_det_ok,steer,isp,roi,speed_kmph,h_ms,tau_ms\n0.025,0.2,1,0.1,0.1,true,true,0.01,S0,1,50,25,24.60\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := ReadCSV(bytes.NewReader(data))
+		if err != nil && pts != nil {
+			t.Fatal("points returned alongside an error")
+		}
+	})
+}

@@ -29,10 +29,17 @@ func (r *Recorder) Add(p sim.TracePoint) { r.Points = append(r.Points, p) }
 // controller consumed (false on every coasted cycle, matching
 // Result.DetectFails); raw_det_ok is the detector's pre-gating verdict,
 // so det_ok=false with raw_det_ok=true marks an innovation-gate reject.
+// fault names the injected fault classes of the cycle ('+'-joined, empty
+// when clean) and degraded flags cycles governed by the robust fallback
+// tuning; both are "" / false on every cycle of a fault-free run.
 var csvHeader = []string{
 	"time_s", "s_m", "sector", "yl_true", "yl_meas", "det_ok", "raw_det_ok",
-	"steer", "isp", "roi", "speed_kmph", "h_ms", "tau_ms",
+	"steer", "isp", "roi", "speed_kmph", "h_ms", "tau_ms", "fault", "degraded",
 }
+
+// legacyFields is the pre-fault-layer column count; ReadCSV still
+// accepts such traces, defaulting the fault annotations.
+const legacyFields = 13
 
 // WriteCSV serializes the recorded points.
 func (r *Recorder) WriteCSV(w io.Writer) error {
@@ -55,6 +62,8 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%g", p.Setting.SpeedKmph),
 			fmt.Sprintf("%g", p.HMs),
 			fmt.Sprintf("%.2f", p.TauMs),
+			p.Fault,
+			strconv.FormatBool(p.Degraded),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -74,8 +83,9 @@ func ReadCSV(r io.Reader) ([]sim.TracePoint, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("trace: empty CSV")
 	}
-	if len(rows[0]) != len(csvHeader) {
-		return nil, fmt.Errorf("trace: header has %d fields, want %d", len(rows[0]), len(csvHeader))
+	if len(rows[0]) != len(csvHeader) && len(rows[0]) != legacyFields {
+		return nil, fmt.Errorf("trace: header has %d fields, want %d (or the legacy %d)",
+			len(rows[0]), len(csvHeader), legacyFields)
 	}
 	var out []sim.TracePoint
 	for i, row := range rows[1:] {
@@ -116,6 +126,14 @@ func ReadCSV(r io.Reader) ([]sim.TracePoint, error) {
 		p.Setting.SpeedKmph = f(10)
 		p.HMs = f(11)
 		p.TauMs = f(12)
+		if len(row) > legacyFields {
+			p.Fault = row[13]
+			degraded, berr := strconv.ParseBool(row[14])
+			if berr != nil {
+				errs = append(errs, berr)
+			}
+			p.Degraded = degraded
+		}
 		if len(errs) > 0 {
 			return nil, fmt.Errorf("trace: row %d: %v", i+2, errs[0])
 		}
