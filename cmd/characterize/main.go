@@ -3,87 +3,153 @@
 // it sweeps the ISP knob (and optionally the full ROI × speed space)
 // through closed-loop simulation and records the knob tuning with the
 // best QoC, printing the result next to the paper's Table III.
+//
+// The sweep runs on the simulation-campaign engine: with -cache-dir it
+// checkpoints every run in a content-addressed cache, so an interrupted
+// sweep resumes where it stopped and a repeated sweep costs zero
+// simulations.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"hsas/internal/camera"
 	"hsas/internal/core"
+	"hsas/internal/isp"
 	"hsas/internal/knobs"
 	"hsas/internal/obs"
 	"hsas/internal/world"
 )
 
-func main() {
-	width := flag.Int("width", 256, "camera width for the sweep runs")
-	height := flag.Int("height", 128, "camera height for the sweep runs")
-	situations := flag.String("situations", "", "comma-separated 1-based situation indices (default all 21)")
-	isps := flag.String("isps", "", "comma-separated ISP candidates (default S0..S8)")
-	full := flag.Bool("full", false, "sweep all ROIs and speeds too (much slower)")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	quiet := flag.Bool("quiet", false, "suppress per-run progress")
-	sensitivity := flag.Bool("sensitivity", false, "run the Monte-Carlo knob screening of Sec. III-B instead")
-	samples := flag.Int("samples", 24, "Monte-Carlo samples per situation (with -sensitivity)")
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs); results are identical either way")
-	logLevel := flag.String("log-level", "", "enable structured sweep logging at this level: debug, info, warn or error")
-	metricsOut := flag.String("metrics-out", "", "after the sweep, dump Prometheus text exposition to this file ('-' for stderr)")
-	flag.Parse()
+// cliConfig is the fully parsed and validated command line (separated
+// from main so flag handling is unit-testable).
+type cliConfig struct {
+	char        core.CharacterizeConfig
+	sensitivity bool
+	samples     int
+	metricsOut  string
+	reg         *obs.Registry
+	quiet       bool
+}
 
-	cfg := core.CharacterizeConfig{
-		Camera:       camera.Scaled(*width, *height),
-		Seed:         *seed,
-		FullROISweep: *full,
-		Workers:      *workers,
+// parseCLI parses and validates the characterize command line; errOut
+// receives usage and error text.
+func parseCLI(args []string, errOut io.Writer) (*cliConfig, error) {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	width := fs.Int("width", 256, "camera width for the sweep runs")
+	height := fs.Int("height", 128, "camera height for the sweep runs")
+	situations := fs.String("situations", "", "comma-separated 1-based situation indices (default all 21)")
+	isps := fs.String("isps", "", "comma-separated ISP candidates (default S0..S8)")
+	full := fs.Bool("full", false, "sweep all ROIs and speeds too (much slower)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	quiet := fs.Bool("quiet", false, "suppress per-run progress")
+	sensitivity := fs.Bool("sensitivity", false, "run the Monte-Carlo knob screening of Sec. III-B instead")
+	samples := fs.Int("samples", 24, "Monte-Carlo samples per situation (with -sensitivity)")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs); results are identical either way")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache; interrupted sweeps resume, repeats cost zero simulations")
+	logLevel := fs.String("log-level", "", "enable structured sweep logging at this level: debug, info, warn or error")
+	metricsOut := fs.String("metrics-out", "", "after the sweep, dump Prometheus text exposition to this file ('-' for stderr)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
-	var reg *obs.Registry
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *width < 1 || *height < 1 {
+		return nil, fmt.Errorf("bad camera geometry %dx%d: both sides must be positive", *width, *height)
+	}
+	if *samples < 1 {
+		return nil, fmt.Errorf("-samples %d must be at least 1", *samples)
+	}
+
+	c := &cliConfig{
+		char: core.CharacterizeConfig{
+			Camera:       camera.Scaled(*width, *height),
+			Seed:         *seed,
+			FullROISweep: *full,
+			Workers:      *workers,
+			CacheDir:     *cacheDir,
+		},
+		sensitivity: *sensitivity,
+		samples:     *samples,
+		metricsOut:  *metricsOut,
+		quiet:       *quiet,
+	}
 	if *logLevel != "" || *metricsOut != "" {
-		reg = obs.NewRegistry()
-		cfg.Obs = &obs.Observer{Metrics: reg}
+		c.reg = obs.NewRegistry()
+		c.char.Obs = &obs.Observer{Metrics: c.reg}
 		if *logLevel != "" {
 			lvl, err := obs.ParseLevel(*logLevel)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "bad -log-level %q: %v\n", *logLevel, err)
-				os.Exit(2)
+				return nil, fmt.Errorf("bad -log-level %q: %v", *logLevel, err)
 			}
-			cfg.Obs.Log = obs.NewLogger(os.Stderr, lvl)
+			c.char.Obs.Log = obs.NewLogger(errOut, lvl)
 		}
 	}
 	if *situations != "" {
 		for _, tok := range strings.Split(*situations, ",") {
 			i, err := strconv.Atoi(strings.TrimSpace(tok))
 			if err != nil || i < 1 || i > len(world.PaperSituations) {
-				fmt.Fprintf(os.Stderr, "bad situation index %q\n", tok)
-				os.Exit(2)
+				return nil, fmt.Errorf("bad situation index %q: want 1..%d", tok, len(world.PaperSituations))
 			}
-			cfg.Situations = append(cfg.Situations, world.PaperSituations[i-1])
+			c.char.Situations = append(c.char.Situations, world.PaperSituations[i-1])
 		}
 	}
 	if *isps != "" {
 		for _, tok := range strings.Split(*isps, ",") {
-			cfg.ISPCandidates = append(cfg.ISPCandidates, strings.TrimSpace(tok))
+			id := strings.TrimSpace(tok)
+			// Catch typos at the flag, not minutes into the sweep: every
+			// candidate must name a known ISP configuration.
+			if _, ok := isp.ByID(id); !ok {
+				return nil, fmt.Errorf("bad -isps candidate %q: want one of %s", id, ispIDList())
+			}
+			c.char.ISPCandidates = append(c.char.ISPCandidates, id)
 		}
 	}
-	if !*quiet {
-		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	return c, nil
+}
+
+// ispIDList renders the valid ISP knob IDs for error messages.
+func ispIDList() string {
+	ids := make([]string, len(isp.Knobs))
+	for i, k := range isp.Knobs {
+		ids[i] = k.ID
+	}
+	return strings.Join(ids, ", ")
+}
+
+func main() {
+	c, err := parseCLI(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !c.quiet {
+		c.char.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 
-	if *sensitivity {
-		sits := cfg.Situations
+	if c.sensitivity {
+		sits := c.char.Situations
 		if sits == nil {
 			sits = world.PaperSituations
 		}
 		for _, sit := range sits {
 			res, err := core.AnalyzeSensitivity(core.SensitivityConfig{
-				Situation: sit,
-				Samples:   *samples,
-				Camera:    cfg.Camera,
-				Seed:      *seed,
-				Progress:  cfg.Progress,
+				Situation:     sit,
+				Samples:       c.samples,
+				Camera:        c.char.Camera,
+				Seed:          c.char.Seed,
+				Progress:      c.char.Progress,
+				ISPCandidates: c.char.ISPCandidates,
+				Workers:       c.char.Workers,
+				CacheDir:      c.char.CacheDir,
+				Obs:           c.char.Obs,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "sensitivity:", err)
@@ -91,20 +157,25 @@ func main() {
 			}
 			fmt.Print(res.Format())
 		}
+		// The screening shares the sweep's metrics plumbing: dump here
+		// too instead of returning early and silently ignoring
+		// -metrics-out.
+		if err := maybeDumpMetrics(c); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
-	res, err := core.Characterize(cfg)
+	res, err := core.Characterize(c.char)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(1)
 	}
 
-	if *metricsOut != "" {
-		if err := dumpMetrics(*metricsOut, reg); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics-out:", err)
-			os.Exit(1)
-		}
+	if err := maybeDumpMetrics(c); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics-out:", err)
+		os.Exit(1)
 	}
 
 	fmt.Println("Regenerated Table III (this substrate):")
@@ -116,6 +187,15 @@ func main() {
 		fmt.Printf("%-4d %-38s %-5s ROI %d [%g, %g, %g]\n",
 			i+1, row.Situation.String(), row.ISP, row.ROI, row.SpeedKmph, row.HMs, row.TauMs)
 	}
+}
+
+// maybeDumpMetrics writes the Prometheus exposition when -metrics-out
+// was given.
+func maybeDumpMetrics(c *cliConfig) error {
+	if c.metricsOut == "" {
+		return nil
+	}
+	return dumpMetrics(c.metricsOut, c.reg)
 }
 
 // dumpMetrics writes the sweep's Prometheus exposition to path, or to

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"hsas/internal/world"
+)
+
+func TestParseCLIRejectsBadFlags(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown flag", []string{"-frobnicate"}, "frobnicate"},
+		{"positional args", []string{"extra"}, "unexpected arguments"},
+		{"zero width", []string{"-width", "0"}, "camera geometry"},
+		{"negative height", []string{"-height", "-3"}, "camera geometry"},
+		{"zero samples", []string{"-samples", "0"}, "-samples"},
+		{"situation zero", []string{"-situations", "0"}, "bad situation index"},
+		{"situation 22", []string{"-situations", "22"}, "bad situation index"},
+		{"situation junk", []string{"-situations", "1,x"}, "bad situation index"},
+		{"bad log level", []string{"-log-level", "loud"}, "bad -log-level"},
+		// The -isps regression: a typo'd candidate must fail at the flag
+		// with the valid IDs spelled out, not minutes into the sweep.
+		{"unknown isp", []string{"-isps", "S9"}, `bad -isps candidate "S9"`},
+		{"isp typo", []string{"-isps", "S0,sx"}, "S0, S1, S2, S3, S4, S5, S6, S7, S8"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseCLI(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("parseCLI(%v) accepted the flags", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseCLIBuildsExpectedConfig(t *testing.T) {
+	c, err := parseCLI(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.char.Camera.Width != 256 || c.char.Camera.Height != 128 || c.char.Seed != 1 ||
+		c.sensitivity || c.samples != 24 || c.reg != nil {
+		t.Fatalf("defaults = %+v", c)
+	}
+
+	c, err = parseCLI([]string{
+		"-width", "192", "-height", "96", "-situations", "1,8", "-isps", "S0, S3",
+		"-full", "-seed", "7", "-workers", "3", "-cache-dir", "/tmp/x", "-quiet",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.char.Camera.Width != 192 || c.char.Seed != 7 || !c.char.FullROISweep ||
+		c.char.Workers != 3 || c.char.CacheDir != "/tmp/x" || !c.quiet {
+		t.Fatalf("parsed config = %+v", c.char)
+	}
+	if len(c.char.Situations) != 2 || c.char.Situations[0] != world.PaperSituations[0] ||
+		c.char.Situations[1] != world.PaperSituations[7] {
+		t.Fatalf("situations = %v", c.char.Situations)
+	}
+	if len(c.char.ISPCandidates) != 2 || c.char.ISPCandidates[0] != "S0" || c.char.ISPCandidates[1] != "S3" {
+		t.Fatalf("isps = %v", c.char.ISPCandidates)
+	}
+}
+
+// TestParseCLISensitivityKeepsMetricsAndWorkers is the regression test
+// for the silently-ignored flags: in -sensitivity mode the parsed
+// config must still carry the metrics registry (for -metrics-out), the
+// worker count and the ISP candidates, because main forwards all three
+// into SensitivityConfig now.
+func TestParseCLISensitivityKeepsMetricsAndWorkers(t *testing.T) {
+	c, err := parseCLI([]string{
+		"-sensitivity", "-samples", "5", "-metrics-out", "m.prom", "-workers", "4", "-isps", "S2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.sensitivity || c.samples != 5 {
+		t.Fatalf("sensitivity mode = %v samples = %d", c.sensitivity, c.samples)
+	}
+	if c.metricsOut != "m.prom" || c.reg == nil || c.char.Obs == nil {
+		t.Fatalf("-metrics-out did not set up the registry: %+v", c)
+	}
+	if c.char.Workers != 4 || len(c.char.ISPCandidates) != 1 || c.char.ISPCandidates[0] != "S2" {
+		t.Fatalf("-workers/-isps not carried: workers=%d isps=%v", c.char.Workers, c.char.ISPCandidates)
+	}
+}

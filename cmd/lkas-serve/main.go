@@ -1,0 +1,144 @@
+// Command lkas-serve exposes the simulation-campaign engine as an HTTP
+// service: submit a declarative campaign grid, poll or stream its
+// progress, and fetch results and traces. Results are checkpointed in a
+// content-addressed cache, so resubmitting a finished (or interrupted)
+// campaign re-simulates nothing.
+//
+//	lkas-serve -addr :8080 -cache-dir /var/lib/lkas-cache
+//	curl -XPOST localhost:8080/v1/campaigns \
+//	     -d '{"situations":[1,8],"cases":[1,4],"cameras":[[192,96]]}'
+//
+// The queue is bounded: submissions beyond -queue pending campaigns get
+// 429 (backpressure instead of OOM). SIGTERM/SIGINT drains gracefully —
+// in-flight work checkpoints, queued campaigns are canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hsas/internal/campaign"
+	"hsas/internal/obs"
+)
+
+// options is the parsed CLI configuration (separated from main so flag
+// handling is unit-testable).
+type options struct {
+	addr         string
+	cacheDir     string
+	queue        int
+	workers      int
+	kernels      int
+	drainTimeout time.Duration
+	logLevel     string
+}
+
+// parseFlags parses the lkas-serve command line; errOut receives usage
+// and error text.
+func parseFlags(args []string, errOut io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("lkas-serve", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "content-addressed result cache directory (empty = in-memory, lost on restart)")
+	fs.IntVar(&o.queue, "queue", 8, "max campaigns queued before submissions get 429")
+	fs.IntVar(&o.workers, "workers", 0, "parallel simulation workers per campaign (0 = all CPUs)")
+	fs.IntVar(&o.kernels, "kernel-workers", 0, "per-run image/GEMM kernel goroutines (0 = CPUs/workers)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 60*time.Second, "how long SIGTERM waits for the running campaign before canceling it")
+	fs.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn or error")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.addr == "" {
+		return nil, fmt.Errorf("-addr must not be empty")
+	}
+	if o.queue < 1 {
+		return nil, fmt.Errorf("-queue %d must be at least 1", o.queue)
+	}
+	if o.drainTimeout <= 0 {
+		return nil, fmt.Errorf("-drain-timeout %v must be positive", o.drainTimeout)
+	}
+	if _, err := obs.ParseLevel(o.logLevel); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", o.logLevel, err)
+	}
+	return o, nil
+}
+
+// serverConfig builds the campaign server configuration (and cache) for
+// the parsed options.
+func serverConfig(o *options, logOut io.Writer) (campaign.ServerConfig, error) {
+	lvl, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return campaign.ServerConfig{}, err
+	}
+	cfg := campaign.ServerConfig{
+		Workers:       o.workers,
+		KernelWorkers: o.kernels,
+		QueueSize:     o.queue,
+		Obs: &obs.Observer{
+			Log:     obs.NewLogger(logOut, lvl),
+			Metrics: obs.NewRegistry(),
+		},
+	}
+	if o.cacheDir != "" {
+		cache, err := campaign.NewDirCache(o.cacheDir)
+		if err != nil {
+			return campaign.ServerConfig{}, err
+		}
+		cfg.Cache = cache
+	}
+	return cfg, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg, err := serverConfig(o, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lkas-serve:", err)
+		os.Exit(1)
+	}
+
+	s := campaign.NewServer(cfg)
+	s.Start()
+	httpSrv := &http.Server{Addr: o.addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+
+	log := cfg.Obs.Logger()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Info("lkas-serve listening", "addr", o.addr, "queue", o.queue,
+		"cache_dir", o.cacheDir, "workers", o.workers)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "lkas-serve:", err)
+		os.Exit(1)
+	case <-sigCtx.Done():
+	}
+
+	log.Info("draining", "timeout", o.drainTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		log.Warn("drain timed out; running campaign canceled (checkpoint retained)", "err", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = httpSrv.Shutdown(shutCtx)
+	log.Info("lkas-serve stopped")
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsRejectsBadFlags(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-bogus"}, "bogus"},
+		{"positional args", []string{"serve"}, "unexpected arguments"},
+		{"empty addr", []string{"-addr", ""}, "-addr"},
+		{"zero queue", []string{"-queue", "0"}, "-queue"},
+		{"negative queue", []string{"-queue", "-2"}, "-queue"},
+		{"zero drain", []string{"-drain-timeout", "0s"}, "-drain-timeout"},
+		{"bad log level", []string{"-log-level", "verbose"}, "bad -log-level"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("parseFlags(%v) accepted the flags", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseFlagsBuildsExpectedConfig(t *testing.T) {
+	o, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" || o.queue != 8 || o.drainTimeout != 60*time.Second || o.logLevel != "info" {
+		t.Fatalf("defaults = %+v", o)
+	}
+
+	o, err = parseFlags([]string{
+		"-addr", ":9999", "-queue", "2", "-workers", "3", "-kernel-workers", "1",
+		"-drain-timeout", "5s", "-log-level", "debug",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9999" || o.queue != 2 || o.workers != 3 || o.kernels != 1 ||
+		o.drainTimeout != 5*time.Second || o.logLevel != "debug" {
+		t.Fatalf("parsed = %+v", o)
+	}
+}
+
+func TestServerConfigWiresCacheAndObs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	o, err := parseFlags([]string{"-cache-dir", dir, "-queue", "3", "-workers", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := serverConfig(o, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.QueueSize != 3 || cfg.Workers != 2 || cfg.Cache == nil ||
+		cfg.Obs == nil || cfg.Obs.Metrics == nil || cfg.Obs.Log == nil {
+		t.Fatalf("server config = %+v", cfg)
+	}
+
+	// Without -cache-dir the server falls back to its in-memory cache.
+	o2, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := serverConfig(o2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Cache != nil {
+		t.Fatalf("expected nil cache (server default) without -cache-dir, got %T", cfg2.Cache)
+	}
+}

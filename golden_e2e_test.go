@@ -1,7 +1,9 @@
 package hsas_test
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	hsas "hsas"
@@ -15,46 +17,67 @@ import (
 // to catch any behavioral regression in the sensing pipeline, knob
 // tables, scheduler, or controller.
 //
+// The sweep runs on the campaign engine — the same declarative
+// grid-expansion, dedup and caching path that cmd/lkas-serve and
+// core.Characterize use — so this test also pins that the engine
+// changes nothing about the underlying runs and that a cached
+// resubmission reproduces them bit for bit without simulating.
+//
 // If an intentional change shifts these numbers, re-derive them with
 // the same configs and update the table — and say why in the commit.
 func TestGoldenCaseSweep(t *testing.T) {
 	const maeTol = 0.01
 
-	straight := hsas.PaperSituations[0]  // straight, white continuous, day
-	rightTurn := hsas.PaperSituations[7] // right turn, white continuous, day
+	// Grid expansion order is documented: situations outer, cases inner.
+	// Rows 1 and 8 are the straight and the right turn (both white
+	// continuous, day).
+	grid := hsas.CampaignGrid{
+		Situations: []int{1, 8},
+		Cases:      []int{1, 2, 3, 4, 5},
+		Cameras:    [][2]int{{192, 96}},
+		Seeds:      []int64{1},
+	}
+	jobs, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	tests := []struct {
+	golden := []struct {
 		name    string
-		sit     hsas.Situation
-		c       hsas.Case
 		crashed bool
 		mae     float64
 	}{
-		{"straight/case1", straight, hsas.Case1, false, 0.005911},
-		{"straight/case2", straight, hsas.Case2, false, 0.006049},
-		{"straight/case3", straight, hsas.Case3, false, 0.005901},
-		{"straight/case4", straight, hsas.Case4, false, 0.005821},
-		{"straight/variable", straight, hsas.CaseVariable, false, 0.005942},
+		{"straight/case1", false, 0.005911},
+		{"straight/case2", false, 0.006049},
+		{"straight/case3", false, 0.005901},
+		{"straight/case4", false, 0.005821},
+		{"straight/variable", false, 0.005942},
 		// Case 1's fixed straight tuning cannot take the turn — the
 		// paper's motivating failure. The situation-aware cases all
 		// complete it.
-		{"right-turn/case1", rightTurn, hsas.Case1, true, 0},
-		{"right-turn/case2", rightTurn, hsas.Case2, false, 0.351934},
-		{"right-turn/case3", rightTurn, hsas.Case3, false, 0.367224},
-		{"right-turn/case4", rightTurn, hsas.Case4, false, 0.327442},
-		{"right-turn/variable", rightTurn, hsas.CaseVariable, false, 0.301936},
+		{"right-turn/case1", true, 0},
+		{"right-turn/case2", false, 0.351934},
+		{"right-turn/case3", false, 0.367224},
+		{"right-turn/case4", false, 0.327442},
+		{"right-turn/variable", false, 0.301936},
 	}
-	for _, tc := range tests {
+	if len(jobs) != len(golden) {
+		t.Fatalf("grid expanded to %d jobs, want %d", len(jobs), len(golden))
+	}
+
+	cache := hsas.NewCampaignMemCache()
+	eng := &hsas.CampaignEngine{Cache: cache}
+	results, stats, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unique != len(golden) || stats.Simulated != len(golden) || stats.CacheHits != 0 {
+		t.Fatalf("cold sweep stats = %+v", stats)
+	}
+
+	for i, tc := range golden {
+		tc, res := tc, results[i]
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := hsas.Run(hsas.SimConfig{
-				Track:  hsas.SituationTrack(tc.sit),
-				Camera: hsas.ScaledCamera(192, 96),
-				Case:   tc.c,
-				Seed:   1,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
 			if res.Crashed != tc.crashed {
 				t.Fatalf("crashed = %v, want %v (MAE %.6f, frames %d)",
 					res.Crashed, tc.crashed, res.MAE, res.Frames)
@@ -69,5 +92,23 @@ func TestGoldenCaseSweep(t *testing.T) {
 					res.Faults, res.Degraded)
 			}
 		})
+	}
+
+	// Resubmitting the identical grid must be pure cache: zero
+	// simulations, and results identical to the first pass except the
+	// informational wall time.
+	again, stats2, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Simulated != 0 || stats2.CacheHits != len(golden) {
+		t.Fatalf("warm sweep stats = %+v, want pure cache hits", stats2)
+	}
+	for i := range results {
+		a, b := *results[i], *again[i]
+		a.WallMS, b.WallMS = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cached result %d differs from the simulated one:\n%+v\nvs\n%+v", i, a, b)
+		}
 	}
 }

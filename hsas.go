@@ -38,6 +38,7 @@ package hsas
 import (
 	"hsas/internal/approx"
 	"hsas/internal/camera"
+	"hsas/internal/campaign"
 	"hsas/internal/classifier"
 	"hsas/internal/cnn"
 	"hsas/internal/control"
@@ -243,6 +244,48 @@ var (
 type (
 	SensitivityConfig = core.SensitivityConfig
 	SensitivityResult = core.SensitivityResult
+)
+
+// Simulation campaigns: declarative grids of closed-loop runs executed
+// on a sharded worker pool with a content-addressed result cache
+// (interrupted campaigns resume from checkpoint; repeats cost zero
+// simulations). cmd/lkas-serve exposes the same engine over HTTP.
+type (
+	// CampaignJob declares one deterministic closed-loop run.
+	CampaignJob = campaign.JobSpec
+	// CampaignJobResult is the cached outcome of one run.
+	CampaignJobResult = campaign.JobResult
+	// CampaignGrid is the declarative cross product of campaign axes.
+	CampaignGrid = campaign.Grid
+	// CampaignEngine runs jobs with dedup, caching and checkpointing.
+	CampaignEngine = campaign.Engine
+	// CampaignCache stores results under their content address.
+	CampaignCache = campaign.Cache
+	// CampaignRunStats summarizes one engine run (jobs, hits, simulated).
+	CampaignRunStats = campaign.RunStats
+	// CampaignHooks observes job lifecycle events.
+	CampaignHooks = campaign.Hooks
+	// CampaignJobEvent is one job lifecycle event.
+	CampaignJobEvent = campaign.JobEvent
+	// CampaignServer is the lkas-serve HTTP service.
+	CampaignServer = campaign.Server
+	// CampaignServerConfig parameterizes it.
+	CampaignServerConfig = campaign.ServerConfig
+)
+
+// Campaign track selectors.
+const (
+	CampaignTrackSituation  = campaign.TrackSituation
+	CampaignTrackNineSector = campaign.TrackNineSector
+)
+
+// NewCampaignMemCache is the in-process cache; NewCampaignDirCache the
+// durable content-addressed directory cache (atomic writes, resumable);
+// NewCampaignServer builds the HTTP service behind cmd/lkas-serve.
+var (
+	NewCampaignMemCache = campaign.NewMemCache
+	NewCampaignDirCache = campaign.NewDirCache
+	NewCampaignServer   = campaign.NewServer
 )
 
 // NoiseModel characterizes situation-dependent sensing noise for the LQG

@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testResult() *JobResult {
+	return &JobResult{MAE: 0.123, Frames: 209, SectorMAE: []float64{0.1, 0.2}, SectorN: []int{10, 20}}
+}
+
+// caches drives both implementations through the same contract checks.
+func caches(t *testing.T) map[string]Cache {
+	dc, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Cache{"mem": NewMemCache(), "dir": dc}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	for name, c := range caches(t) {
+		t.Run(name, func(t *testing.T) {
+			const key = "abcdef0123456789"
+			if _, ok, err := c.Get(key); ok || err != nil {
+				t.Fatalf("empty cache Get = ok=%v err=%v", ok, err)
+			}
+			want := testResult()
+			if err := c.Put(key, want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := c.Get(key)
+			if err != nil || !ok {
+				t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+			}
+			if got.MAE != want.MAE || got.Frames != want.Frames || len(got.SectorMAE) != 2 {
+				t.Fatalf("round trip mangled the result: %+v", got)
+			}
+
+			if _, ok, _ := c.GetTrace(key); ok {
+				t.Fatal("trace present before PutTrace")
+			}
+			if err := c.PutTrace(key, []byte("t,err\n0,0.1\n")); err != nil {
+				t.Fatal(err)
+			}
+			csv, ok, err := c.GetTrace(key)
+			if err != nil || !ok || string(csv) != "t,err\n0,0.1\n" {
+				t.Fatalf("trace round trip = %q ok=%v err=%v", csv, ok, err)
+			}
+		})
+	}
+}
+
+func TestMemCacheGetReturnsCopies(t *testing.T) {
+	c := NewMemCache()
+	if err := c.Put("k", testResult()); err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := c.Get("k")
+	a.MAE = 99
+	b, _, _ := c.Get("k")
+	if b.MAE == 99 {
+		t.Fatal("Get handed out a shared result")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestDirCacheLayoutAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "deadbeef00112233"
+	if err := c.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// Two-character fan-out keeps big campaign caches listable.
+	p := filepath.Join(dir, key[:2], key+".json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("expected entry at %s: %v", p, err)
+	}
+	// No temp files left behind by the atomic write.
+	ents, err := os.ReadDir(filepath.Join(dir, key[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != key+".json" {
+			t.Fatalf("unexpected file %s in cache dir", e.Name())
+		}
+	}
+
+	// A torn/corrupt entry is a miss, not an error: the engine just
+	// re-simulates and overwrites it.
+	if err := os.WriteFile(p, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); ok || err != nil {
+		t.Fatalf("corrupt entry Get = ok=%v err=%v, want miss", ok, err)
+	}
+}
+
+func TestNewDirCacheRejectsEmptyDir(t *testing.T) {
+	if _, err := NewDirCache(""); err == nil {
+		t.Fatal("NewDirCache(\"\") succeeded")
+	}
+}

@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"fmt"
+
+	"hsas/internal/camera"
+	"hsas/internal/knobs"
+	"hsas/internal/sim"
+	"hsas/internal/world"
+)
+
+// Grid is the declarative campaign description: the cross product of
+// its axes expands into one JobSpec per combination. It is the JSON
+// body cmd/lkas-serve accepts.
+type Grid struct {
+	// Name labels the campaign in status output (optional).
+	Name string `json:"name,omitempty"`
+	// Track selects the course for every job: TrackSituation (default)
+	// or TrackNineSector.
+	Track string `json:"track,omitempty"`
+	// Situations are 1-based Table III indices (TrackSituation only);
+	// empty means all 21. Must be empty for TrackNineSector.
+	Situations []int `json:"situations,omitempty"`
+	// Cases are Table V evaluation cases (1–4, 5 = variable). At least
+	// one of Cases and Settings must be non-empty; both expand both.
+	Cases []int `json:"cases,omitempty"`
+	// Settings are fixed knob settings (characterization-style jobs).
+	Settings []knobs.Setting `json:"settings,omitempty"`
+	// FixedClassifiers is the per-frame classifier count charged to
+	// Settings jobs; 0 means 3 (the full pipeline, as characterization
+	// charges it).
+	FixedClassifiers int `json:"fixed_classifiers,omitempty"`
+	// Cameras are [width, height] pairs; empty means [[192, 96]] (the
+	// golden-sweep resolution).
+	Cameras [][2]int `json:"cameras,omitempty"`
+	// Seeds for each combination; empty means [1].
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Faults are fault-schedule specs (fault.ParseSpec grammar); empty
+	// means one fault-free slot. Use "" inside the list to mix a
+	// fault-free run with faulty ones.
+	Faults []string `json:"faults,omitempty"`
+	// Degrade applies these graceful-degradation knobs to every job.
+	Degrade *sim.Degradation `json:"degrade,omitempty"`
+	// UseFeedforward enables the curvature-feedforward ablation.
+	UseFeedforward bool `json:"feedforward,omitempty"`
+	// RecordTrace captures each job's per-cycle trace CSV as a cache
+	// artifact.
+	RecordTrace bool `json:"record_trace,omitempty"`
+}
+
+// Expand enumerates the grid into jobs in a fixed, documented order:
+// situations (outer), then cases followed by settings, then cameras,
+// seeds and fault specs (inner). Every expanded job is normalized, so
+// an invalid axis value fails here, before anything simulates.
+func (g Grid) Expand() ([]JobSpec, error) {
+	track := g.Track
+	if track == "" {
+		track = TrackSituation
+	}
+
+	var sits []*world.Situation
+	switch track {
+	case TrackSituation:
+		idxs := g.Situations
+		if len(idxs) == 0 {
+			idxs = make([]int, len(world.PaperSituations))
+			for i := range idxs {
+				idxs[i] = i + 1
+			}
+		}
+		for _, i := range idxs {
+			if i < 1 || i > len(world.PaperSituations) {
+				return nil, fmt.Errorf("campaign: situation index %d outside 1–%d", i, len(world.PaperSituations))
+			}
+			sit := world.PaperSituations[i-1]
+			sits = append(sits, &sit)
+		}
+	case TrackNineSector:
+		if len(g.Situations) > 0 {
+			return nil, fmt.Errorf("campaign: the %q track fixes its own situations; drop the situations axis", TrackNineSector)
+		}
+		sits = []*world.Situation{nil}
+	default:
+		return nil, fmt.Errorf("campaign: unknown track %q (want %q or %q)", track, TrackSituation, TrackNineSector)
+	}
+
+	if len(g.Cases) == 0 && len(g.Settings) == 0 {
+		return nil, fmt.Errorf("campaign: grid selects no cases and no fixed settings")
+	}
+	fixedClassifiers := g.FixedClassifiers
+	if fixedClassifiers == 0 {
+		fixedClassifiers = 3
+	}
+	cams := g.Cameras
+	if len(cams) == 0 {
+		cams = [][2]int{{192, 96}}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	faults := g.Faults
+	if len(faults) == 0 {
+		faults = []string{""}
+	}
+
+	var jobs []JobSpec
+	for _, sit := range sits {
+		emit := func(caseN int, setting *knobs.Setting) error {
+			for _, wh := range cams {
+				for _, seed := range seeds {
+					for _, fs := range faults {
+						j := JobSpec{
+							Track:          track,
+							Situation:      sit,
+							Camera:         camera.Scaled(wh[0], wh[1]),
+							Case:           caseN,
+							Seed:           seed,
+							Faults:         fs,
+							Degrade:        g.Degrade,
+							UseFeedforward: g.UseFeedforward,
+							RecordTrace:    g.RecordTrace,
+						}
+						if setting != nil {
+							s := *setting
+							j.Fixed = &s
+							j.FixedClassifiers = fixedClassifiers
+						}
+						n, err := j.Normalize()
+						if err != nil {
+							return err
+						}
+						jobs = append(jobs, n)
+					}
+				}
+			}
+			return nil
+		}
+		for _, c := range g.Cases {
+			if err := emit(c, nil); err != nil {
+				return nil, err
+			}
+		}
+		for i := range g.Settings {
+			if err := emit(0, &g.Settings[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return jobs, nil
+}

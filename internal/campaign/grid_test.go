@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"hsas/internal/knobs"
+	"hsas/internal/world"
+)
+
+func TestGridExpandOrderAndDefaults(t *testing.T) {
+	g := Grid{Situations: []int{1, 8}, Cases: []int{1, 2}}
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("expanded %d jobs, want 4", len(jobs))
+	}
+	// Documented order: situations outer, cases inner.
+	wantSit := []world.Situation{world.PaperSituations[0], world.PaperSituations[0],
+		world.PaperSituations[7], world.PaperSituations[7]}
+	wantCase := []int{1, 2, 1, 2}
+	for i, j := range jobs {
+		if *j.Situation != wantSit[i] || j.Case != wantCase[i] {
+			t.Fatalf("job %d = %v case %d, want %v case %d", i, j.Situation, j.Case, wantSit[i], wantCase[i])
+		}
+		// Defaults: golden-sweep camera, seed 1, fault-free.
+		if j.Camera.Width != 192 || j.Camera.Height != 96 || j.Seed != 1 || j.Faults != "" {
+			t.Fatalf("job %d did not get the documented defaults: %+v", i, j)
+		}
+	}
+}
+
+func TestGridExpandFullCrossProduct(t *testing.T) {
+	g := Grid{
+		Situations: []int{1},
+		Cases:      []int{1},
+		Settings:   []knobs.Setting{*testSetting()},
+		Cameras:    [][2]int{{64, 32}, {96, 48}},
+		Seeds:      []int64{1, 2, 3},
+		Faults:     []string{"", "drop:p=0.1"},
+	}
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1 case + 1 setting) × 2 cameras × 3 seeds × 2 fault specs.
+	if len(jobs) != 24 {
+		t.Fatalf("expanded %d jobs, want 24", len(jobs))
+	}
+	// Cases come before settings; settings jobs get the full pipeline
+	// charged by default.
+	if jobs[0].Case != 1 || jobs[12].Fixed == nil || jobs[12].FixedClassifiers != 3 {
+		t.Fatalf("unexpected order: jobs[0]=%+v jobs[12]=%+v", jobs[0], jobs[12])
+	}
+	// Every expanded job is already normalized and addressable.
+	seen := map[string]bool{}
+	for i := range jobs {
+		k, err := jobs[i].Key()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if seen[k] {
+			t.Fatalf("job %d duplicates an address", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGridExpandNineSector(t *testing.T) {
+	jobs, err := Grid{Track: TrackNineSector, Cases: []int{4}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Situation != nil || jobs[0].Track != TrackNineSector {
+		t.Fatalf("nine-sector expansion = %+v", jobs)
+	}
+}
+
+func TestGridExpandErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Grid
+		want string
+	}{
+		{"empty axes", Grid{Situations: []int{1}}, "no cases and no fixed settings"},
+		{"situation 0", Grid{Situations: []int{0}, Cases: []int{1}}, "situation index 0"},
+		{"situation 22", Grid{Situations: []int{22}, Cases: []int{1}}, "situation index 22"},
+		{"nine-sector situations", Grid{Track: TrackNineSector, Situations: []int{1}, Cases: []int{1}}, "drop the situations axis"},
+		{"unknown track", Grid{Track: "oval", Cases: []int{1}}, `unknown track "oval"`},
+		{"bad case", Grid{Situations: []int{1}, Cases: []int{9}}, "case 9"},
+		{"bad setting", Grid{Situations: []int{1}, Settings: []knobs.Setting{{ISP: "S9", ROI: 1, SpeedKmph: 30}}}, "S9"},
+		{"bad fault", Grid{Situations: []int{1}, Cases: []int{1}, Faults: []string{"xyzzy"}}, "xyzzy"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.g.Expand(); err == nil {
+				t.Fatal("Expand accepted the grid")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,468 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hsas/internal/obs"
+)
+
+// ServerConfig parameterizes the campaign HTTP service.
+type ServerConfig struct {
+	// Workers and KernelWorkers configure the engine each campaign runs
+	// on (see Engine); one campaign executes at a time, so Workers also
+	// bounds the server's total concurrent simulations.
+	Workers       int
+	KernelWorkers int
+	// Cache backs every campaign; nil uses a process-lifetime MemCache
+	// (resubmissions still hit, restarts start cold).
+	Cache Cache
+	// QueueSize bounds the accepted-but-not-started campaign queue.
+	// Submissions beyond it are rejected with 429 — backpressure, not
+	// buffering. 0 means 8.
+	QueueSize int
+	// Obs receives server logs and metrics (queue depth, campaign
+	// counters) plus the engine instrumentation.
+	Obs *obs.Observer
+}
+
+// Campaign lifecycle states reported by the status API.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Status is one campaign's externally visible state.
+type Status struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State string `json:"state"`
+	// Jobs is the expanded job count; Done how many have completed
+	// (cache hits included), CacheHits/Simulated the split.
+	Jobs      int    `json:"jobs"`
+	Done      int    `json:"done"`
+	CacheHits int    `json:"cache_hits"`
+	Simulated int    `json:"simulated"`
+	Error     string `json:"error,omitempty"`
+}
+
+// jobOutcome pairs a job with its result for the results payload.
+type jobOutcome struct {
+	Job    JobSpec    `json:"job"`
+	Key    string     `json:"key"`
+	Result *JobResult `json:"result"`
+}
+
+// campaignState is the server-side record of one submission.
+type campaignState struct {
+	id   string
+	grid Grid
+	jobs []JobSpec
+
+	mu        sync.Mutex
+	state     string
+	done      int
+	cacheHits int
+	simulated int
+	err       string
+	results   []*JobResult
+	cancel    context.CancelFunc
+}
+
+func (c *campaignState) snapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		ID: c.id, Name: c.grid.Name, State: c.state,
+		Jobs: len(c.jobs), Done: c.done,
+		CacheHits: c.cacheHits, Simulated: c.simulated, Error: c.err,
+	}
+}
+
+// Server queues submitted campaigns and executes them one at a time on
+// a shared engine and cache. It implements the lkas-serve HTTP API:
+//
+//	POST /v1/campaigns                  submit a Grid; 202 {id}, 429 when the queue is full
+//	GET  /v1/campaigns                  list campaign statuses
+//	GET  /v1/campaigns/{id}             one campaign's status
+//	GET  /v1/campaigns/{id}/events      NDJSON status stream until terminal
+//	GET  /v1/campaigns/{id}/results     job results (409 until done)
+//	GET  /v1/campaigns/{id}/jobs/{i}/trace  per-cycle trace CSV (record_trace grids)
+//	GET  /healthz                       200, or 503 once draining
+//	GET  /metrics                       Prometheus exposition (when Obs.Metrics set)
+type Server struct {
+	cfg   ServerConfig
+	cache Cache
+	obs   *obs.Observer
+
+	mu        sync.Mutex // guards queue close vs submit, campaigns, seq
+	queue     chan *campaignState
+	campaigns map[string]*campaignState
+	order     []string
+	seq       int
+	draining  bool
+	running   *campaignState
+
+	wg sync.WaitGroup
+
+	depthG    *obs.Gauge
+	acceptedC *obs.Counter
+	rejectedC *obs.Counter
+	doneC     *obs.Counter
+	failedC   *obs.Counter
+}
+
+// NewServer builds a Server; call Start to launch the executor.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 8
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewMemCache()
+	}
+	reg := cfg.Obs.Registry()
+	return &Server{
+		cfg:       cfg,
+		cache:     cache,
+		obs:       cfg.Obs,
+		queue:     make(chan *campaignState, cfg.QueueSize),
+		campaigns: map[string]*campaignState{},
+		depthG:    reg.Gauge("hsas_serve_queue_depth", "campaigns accepted but not yet finished"),
+		acceptedC: reg.Counter("hsas_serve_campaigns_accepted_total", "campaign submissions accepted"),
+		rejectedC: reg.Counter("hsas_serve_campaigns_rejected_total", "campaign submissions rejected with 429 (queue full)"),
+		doneC:     reg.Counter("hsas_serve_campaigns_done_total", "campaigns completed successfully"),
+		failedC:   reg.Counter("hsas_serve_campaigns_failed_total", "campaigns that failed or were canceled"),
+	}
+}
+
+// Start launches the campaign executor goroutine.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Shutdown drains the server: new submissions get 503, the running
+// campaign is given until ctx expires to finish (its completed jobs are
+// checkpointed either way), and still-queued campaigns are marked
+// canceled — the cache makes resubmitting them after a restart cheap.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if s.running != nil && s.running.cancel != nil {
+			s.running.cancel()
+		}
+		s.mu.Unlock()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for st := range s.queue {
+		s.mu.Lock()
+		draining := s.draining
+		if !draining {
+			s.running = st
+		}
+		s.mu.Unlock()
+		if draining {
+			// Drain fast: queued campaigns are canceled, not executed.
+			st.mu.Lock()
+			st.state = StateCanceled
+			st.err = "server draining"
+			st.mu.Unlock()
+			s.failedC.Inc()
+			s.depthG.Add(-1)
+			continue
+		}
+		s.execute(st)
+		s.mu.Lock()
+		s.running = nil
+		s.mu.Unlock()
+		s.depthG.Add(-1)
+	}
+}
+
+func (s *Server) execute(st *campaignState) {
+	ctx, cancel := context.WithCancel(context.Background())
+	st.mu.Lock()
+	st.state = StateRunning
+	st.cancel = cancel
+	st.mu.Unlock()
+	defer cancel()
+
+	eng := &Engine{
+		Workers:       s.cfg.Workers,
+		KernelWorkers: s.cfg.KernelWorkers,
+		Cache:         s.cache,
+		Obs:           s.obs,
+		Hooks: Hooks{JobDone: func(ev JobEvent) {
+			st.mu.Lock()
+			st.done += len(ev.Indices)
+			if ev.Cached {
+				st.cacheHits += len(ev.Indices)
+			} else if ev.Err == nil {
+				st.simulated++
+			}
+			st.mu.Unlock()
+		}},
+	}
+	s.obs.Logger().Info("campaign start", "id", st.id, "name", st.grid.Name, "jobs", len(st.jobs))
+	results, stats, err := eng.Run(ctx, st.jobs)
+
+	st.mu.Lock()
+	st.results = results
+	st.cacheHits = stats.CacheHits
+	st.simulated = stats.Simulated
+	switch {
+	case err == nil:
+		st.state = StateDone
+	case errors.Is(err, context.Canceled):
+		st.state = StateCanceled
+		st.err = err.Error()
+	default:
+		st.state = StateFailed
+		st.err = err.Error()
+	}
+	state := st.state
+	st.mu.Unlock()
+
+	if state == StateDone {
+		s.doneC.Inc()
+	} else {
+		s.failedC.Inc()
+	}
+	s.obs.Logger().Info("campaign finished", "id", st.id, "state", state,
+		"cache_hits", stats.CacheHits, "simulated", stats.Simulated)
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/campaigns/{id}/jobs/{index}/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if reg := s.obs.Registry(); reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var grid Grid
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&grid); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding campaign grid: %v", err)
+		return
+	}
+	jobs, err := grid.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.seq++
+	st := &campaignState{id: fmt.Sprintf("c%06d", s.seq), grid: grid, jobs: jobs, state: StateQueued}
+	select {
+	case s.queue <- st:
+		s.campaigns[st.id] = st
+		s.order = append(s.order, st.id)
+		s.mu.Unlock()
+		s.acceptedC.Inc()
+		s.depthG.Add(1)
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": st.id, "jobs": len(jobs)})
+	default:
+		s.seq-- // unused id
+		s.mu.Unlock()
+		s.rejectedC.Inc()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, "campaign queue full (%d pending); retry later", s.cfg.QueueSize)
+	}
+}
+
+func (s *Server) lookup(r *http.Request) (*campaignState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.campaigns[r.PathValue("id")]
+	return st, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		st := s.campaigns[id]
+		s.mu.Unlock()
+		out = append(out, st.snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.snapshot())
+}
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// handleEvents streams NDJSON status snapshots (one line per change)
+// until the campaign reaches a terminal state or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	var last Status
+	first := true
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		snap := st.snapshot()
+		if first || snap != last {
+			if err := enc.Encode(snap); err != nil {
+				return
+			}
+			if canFlush {
+				fl.Flush()
+			}
+			last, first = snap, false
+		}
+		if terminal(snap.State) {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	snap := st.snapshot()
+	if snap.State != StateDone {
+		writeError(w, http.StatusConflict, "campaign %s is %s; results are available once done", snap.ID, snap.State)
+		return
+	}
+	st.mu.Lock()
+	results := st.results
+	st.mu.Unlock()
+	out := struct {
+		Status
+		Results []jobOutcome `json:"results"`
+	}{Status: snap, Results: make([]jobOutcome, len(st.jobs))}
+	for i := range st.jobs {
+		key, _ := st.jobs[i].Key() // jobs were normalized at submit; cannot fail
+		out.Results[i] = jobOutcome{Job: st.jobs[i], Key: key, Result: results[i]}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	idx, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil || idx < 0 || idx >= len(st.jobs) {
+		writeError(w, http.StatusNotFound, "campaign %s has no job %q", st.id, r.PathValue("index"))
+		return
+	}
+	if !st.jobs[idx].RecordTrace {
+		writeError(w, http.StatusNotFound, "campaign %s did not set record_trace", st.id)
+		return
+	}
+	key, _ := st.jobs[idx].Key()
+	csv, ok2, err := s.cache.GetTrace(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading trace: %v", err)
+		return
+	}
+	if !ok2 {
+		writeError(w, http.StatusNotFound, "trace for job %d not recorded yet", idx)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(csv)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

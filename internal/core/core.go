@@ -19,21 +19,20 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"time"
 
 	"hsas/internal/camera"
+	"hsas/internal/campaign"
 	"hsas/internal/control"
 	"hsas/internal/knobs"
 	"hsas/internal/mat"
 	"hsas/internal/obs"
 	"hsas/internal/perception"
 	"hsas/internal/platform"
-	"hsas/internal/sim"
 	"hsas/internal/vehicle"
 	"hsas/internal/world"
 )
@@ -72,6 +71,16 @@ type CharacterizeConfig struct {
 	// the metrics registry (stage histograms) but stay out of the span
 	// stream, which tracks the sweep itself.
 	Obs *obs.Observer
+	// CacheDir, when set, checkpoints every closed-loop run in the
+	// content-addressed campaign cache rooted there: an interrupted
+	// sweep resumes from the completed runs, and re-characterizing an
+	// unchanged configuration simulates nothing (see internal/campaign
+	// for the cache-key contract).
+	CacheDir string
+	// Context cancels the sweep between runs; in-flight runs finish and
+	// are checkpointed before Characterize returns the context error.
+	// nil means context.Background().
+	Context context.Context
 }
 
 // Candidate is one evaluated knob setting for a situation.
@@ -125,10 +134,13 @@ func (r *Result) FormatTable() string {
 // Characterize runs the design-time sweep: for every situation, evaluate
 // the candidate knob settings in closed loop (with the full three-
 // classifier pipeline charged to the timing, as the runtime will pay it)
-// and keep the setting with the best QoC. Candidates within a situation
-// are evaluated on cfg.Workers parallel workers; the outcome is
-// identical to the serial sweep because candidates are scored
-// independently and re-assembled in enumeration order.
+// and keep the setting with the best QoC. The sweep runs on the
+// simulation-campaign engine (internal/campaign): all situations'
+// candidates are flattened into one job list, evaluated on cfg.Workers
+// sharded workers, checkpointed in the content-addressed cache when
+// CacheDir is set, and re-assembled in enumeration order — the outcome
+// is identical to a serial sweep for any worker count or cache state
+// (only Progress ordering varies).
 func Characterize(cfg CharacterizeConfig) (*Result, error) {
 	if cfg.Situations == nil {
 		cfg.Situations = world.PaperSituations
@@ -143,9 +155,6 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.KernelWorkers == 0 {
-		cfg.KernelWorkers = max(1, runtime.GOMAXPROCS(0)/workers)
-	}
 	xavier := platform.Xavier()
 
 	o := cfg.Obs
@@ -155,86 +164,122 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 	runH := reg.Histogram("hsas_characterize_run_seconds", "wall time per sweep run",
 		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60})
 	busyG := reg.Gauge("hsas_characterize_busy_workers", "sweep workers currently evaluating a candidate")
-	// The inner sim runs share the metrics registry (populating the
-	// per-stage latency histograms under sweep load) but not the span
-	// stream or logger, which track the sweep itself.
-	var inner *obs.Observer
-	if o.Enabled() && o.Metrics != nil {
-		inner = &obs.Observer{Metrics: o.Metrics}
-	}
 
-	res := &Result{}
+	// Flatten the sweep into campaign jobs. Timings are resolved per
+	// ISP candidate up front, so an unknown candidate fails fast before
+	// anything simulates.
+	type jobMeta struct {
+		sit        world.Situation
+		setting    knobs.Setting
+		evalSector int
+	}
+	var jobs []campaign.JobSpec
+	var metas []jobMeta
+	timings := map[string]platform.Timing{}
 	for _, sit := range cfg.Situations {
 		sit := sit
-		track := world.SituationTrack(sit)
 		evalSector := world.SituationEvalSector(sit)
-		settings := candidateSettings(sit, cfg)
-
-		sitStart := o.Tracer().Begin()
-		cands := make([]Candidate, len(settings))
-		errs := make([]error, len(settings))
-		var mu sync.Mutex // serializes Progress and log emission
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		n := workers
-		if n > len(settings) {
-			n = len(settings)
+		for _, setting := range candidateSettings(sit, cfg) {
+			if _, ok := timings[setting.ISP]; !ok {
+				tm, err := xavier.TimingFor(setting.ISP, 3)
+				if err != nil {
+					return nil, fmt.Errorf("core: characterize %v with %v: %w", sit, setting, err)
+				}
+				timings[setting.ISP] = tm
+			}
+			setting := setting
+			jobs = append(jobs, campaign.JobSpec{
+				Situation:        &sit,
+				Camera:           cfg.Camera,
+				Fixed:            &setting,
+				FixedClassifiers: 3,
+				Seed:             cfg.Seed,
+			})
+			metas = append(metas, jobMeta{sit: sit, setting: setting, evalSector: evalSector})
 		}
-		for w := 0; w < n; w++ {
-			w := w
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					setting := settings[i]
-					var start time.Time
-					if o.Enabled() {
-						start = time.Now()
-					}
-					busyG.Add(1)
-					c, err := evalCandidate(cfg, xavier, inner, track, evalSector, setting)
+	}
+
+	candidateFrom := func(m jobMeta, r *campaign.JobResult) Candidate {
+		tm := timings[m.setting.ISP]
+		c := Candidate{Setting: m.setting, Crashed: r.Crashed, HMs: tm.HMs, TauMs: tm.TauMs}
+		c.MAE, c.Crashed = penalizedMAE(r.Sector(m.evalSector), r.Crashed)
+		return c
+	}
+
+	var cache campaign.Cache
+	if cfg.CacheDir != "" {
+		dc, err := campaign.NewDirCache(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: characterize: %w", err)
+		}
+		cache = dc
+	}
+	sweepStart := o.Tracer().Begin()
+	eng := &campaign.Engine{
+		Workers:       workers,
+		KernelWorkers: cfg.KernelWorkers,
+		Cache:         cache,
+		Obs:           o,
+		Hooks: campaign.Hooks{
+			JobStart: func(campaign.JobEvent) { busyG.Add(1) },
+			// JobDone is serialized by the engine, so Progress and log
+			// emission need no extra lock.
+			JobDone: func(ev campaign.JobEvent) {
+				if !ev.Cached {
 					busyG.Add(-1)
-					cands[i], errs[i] = c, err
-					if err != nil {
-						errs[i] = fmt.Errorf("core: characterize %v with %v: %w", sit, setting, err)
-						continue
-					}
+				}
+				if ev.Err != nil {
+					return
+				}
+				m := metas[ev.Index]
+				c := candidateFrom(m, ev.Result)
+				if !ev.Cached {
 					runsC.Inc()
 					if c.Crashed {
 						crashC.Inc()
 					}
 					if o.Enabled() {
-						runH.Observe(time.Since(start).Seconds())
-						o.Tracer().Span("run", "characterize", w+1, start, map[string]any{
-							"situation": sit.String(), "isp": setting.ISP, "roi": setting.ROI,
-							"speed_kmph": setting.SpeedKmph, "mae_m": c.MAE, "crashed": c.Crashed,
+						runH.Observe(ev.Result.WallMS / 1000)
+						o.Tracer().Span("run", "characterize", ev.Worker+1, ev.Start, map[string]any{
+							"situation": m.sit.String(), "isp": m.setting.ISP, "roi": m.setting.ROI,
+							"speed_kmph": m.setting.SpeedKmph, "mae_m": c.MAE, "crashed": c.Crashed,
 						})
 					}
-					mu.Lock()
-					if cfg.Progress != nil {
-						cfg.Progress(fmt.Sprintf("%v | %v -> MAE %.4f crashed=%v", sit, setting, c.MAE, c.Crashed))
-					}
-					o.Logger().Debug("characterize run",
-						"situation", sit.String(), "isp", setting.ISP, "roi", setting.ROI,
-						"speed_kmph", setting.SpeedKmph, "mae_m", c.MAE, "crashed", c.Crashed)
-					mu.Unlock()
 				}
-			}()
-		}
-		for i := range settings {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+				if cfg.Progress != nil {
+					cfg.Progress(fmt.Sprintf("%v | %v -> MAE %.4f crashed=%v", m.sit, m.setting, c.MAE, c.Crashed))
+				}
+				o.Logger().Debug("characterize run",
+					"situation", m.sit.String(), "isp", m.setting.ISP, "roi", m.setting.ROI,
+					"speed_kmph", m.setting.SpeedKmph, "mae_m", c.MAE, "crashed", c.Crashed,
+					"cached", ev.Cached)
+			},
+		},
+	}
+	results, _, err := eng.Run(cfg.Context, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("core: characterize: %w", err)
+	}
 
+	// Re-assemble in enumeration order: candidates within a situation
+	// are scored independently, so the sweep outcome never depends on
+	// completion order, worker count or cache state.
+	n := workers
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	res := &Result{}
+	idx := 0
+	for _, sit := range cfg.Situations {
+		nSettings := len(candidateSettings(sit, cfg))
+		cands := make([]Candidate, nSettings)
+		for k := 0; k < nSettings; k++ {
+			cands[k] = candidateFrom(metas[idx], results[idx])
+			idx++
+		}
 		sort.SliceStable(cands, func(i, j int) bool { return cands[i].MAE < cands[j].MAE })
 		res.Entries = append(res.Entries, Entry{Situation: sit, Best: cands[0], Candidates: cands})
-		o.Tracer().Span("situation", "characterize", 0, sitStart,
+		o.Tracer().Span("situation", "characterize", 0, sweepStart,
 			map[string]any{"situation": sit.String(), "candidates": len(cands)})
 		o.Logger().Info("situation characterized",
 			"situation", sit.String(), "candidates", len(cands), "workers", n,
@@ -242,36 +287,6 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 			"best_speed_kmph", cands[0].Setting.SpeedKmph, "best_mae_m", cands[0].MAE)
 	}
 	return res, nil
-}
-
-// evalCandidate scores one knob setting for one situation in closed loop.
-func evalCandidate(cfg CharacterizeConfig, xavier platform.Platform, inner *obs.Observer,
-	track *world.Track, evalSector int, setting knobs.Setting) (Candidate, error) {
-	timing, err := xavier.TimingFor(setting.ISP, 3)
-	if err != nil {
-		return Candidate{}, err
-	}
-	run, err := sim.Run(sim.Config{
-		Track:            track,
-		Camera:           cfg.Camera,
-		Seed:             cfg.Seed,
-		FixedSetting:     &setting,
-		FixedClassifiers: 3,
-		KernelWorkers:    cfg.KernelWorkers,
-		Obs:              inner,
-	})
-	if err != nil {
-		return Candidate{}, err
-	}
-	c := Candidate{
-		Setting: setting,
-		MAE:     run.PerSector.Sector(evalSector),
-		Crashed: run.Crashed,
-		HMs:     timing.HMs,
-		TauMs:   timing.TauMs,
-	}
-	c.MAE, c.Crashed = penalizedMAE(c.MAE, run.Crashed)
-	return c, nil
 }
 
 // crashPenalty is added to a candidate's eval-sector MAE when its run

@@ -1,14 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 
 	"hsas/internal/camera"
+	"hsas/internal/campaign"
 	"hsas/internal/knobs"
-	"hsas/internal/sim"
+	"hsas/internal/obs"
 	"hsas/internal/world"
 )
 
@@ -26,6 +28,23 @@ type SensitivityConfig struct {
 	Camera    camera.Camera
 	Seed      int64
 	Progress  func(string)
+	// ISPCandidates restricts the ISP configurations sampled (default
+	// S0..S8). The sampling sequence with the default list is identical
+	// to earlier releases for a given Seed.
+	ISPCandidates []string
+	// Workers is the number of samples evaluated in parallel (default
+	// all CPUs); KernelWorkers the per-run kernel goroutines (default
+	// CPUs/Workers). Neither affects the screening outcome.
+	Workers       int
+	KernelWorkers int
+	// CacheDir points the screening at a content-addressed campaign
+	// cache; repeated screenings with identical parameters then cost
+	// zero simulations.
+	CacheDir string
+	// Obs receives metrics from the inner simulation runs. Nil disables.
+	Obs *obs.Observer
+	// Context cancels the screening between runs; nil = Background.
+	Context context.Context
 }
 
 // KnobSensitivity is the screening outcome for one knob dimension: the
@@ -65,6 +84,10 @@ func (r *SensitivityResult) Format() string {
 }
 
 // AnalyzeSensitivity runs the Monte-Carlo screening for one situation.
+// Samples are evaluated on the campaign engine (cfg.Workers parallel
+// workers, optional content-addressed cache); the screening outcome is
+// identical for any worker count or cache state because the random knob
+// assignments and per-sample seeds are drawn up front.
 func AnalyzeSensitivity(cfg SensitivityConfig) (*SensitivityResult, error) {
 	if cfg.Samples == 0 {
 		cfg.Samples = 24
@@ -73,39 +96,76 @@ func AnalyzeSensitivity(cfg SensitivityConfig) (*SensitivityResult, error) {
 		cfg.Camera = camera.Scaled(192, 96)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	track := world.SituationTrack(cfg.Situation)
 	evalSector := world.SituationEvalSector(cfg.Situation)
-	ispIDs := []string{"S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"}
+	ispIDs := cfg.ISPCandidates
+	if ispIDs == nil {
+		ispIDs = []string{"S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"}
+	}
+
+	// Draw every random knob assignment before anything simulates, so
+	// the sampling sequence never depends on worker scheduling.
+	sit := cfg.Situation
+	settings := make([]knobs.Setting, cfg.Samples)
+	jobs := make([]campaign.JobSpec, cfg.Samples)
+	for i := range settings {
+		settings[i] = knobs.Setting{
+			ISP:       ispIDs[rng.Intn(len(ispIDs))],
+			ROI:       1 + rng.Intn(5),
+			SpeedKmph: knobs.Speeds[rng.Intn(len(knobs.Speeds))],
+		}
+		jobs[i] = campaign.JobSpec{
+			Situation:        &sit,
+			Camera:           cfg.Camera,
+			Fixed:            &settings[i],
+			FixedClassifiers: 3,
+			Seed:             cfg.Seed + int64(i),
+		}
+	}
+
+	penalized := func(r *campaign.JobResult) float64 {
+		mae := r.Sector(evalSector)
+		if r.Crashed || mae == 0 {
+			mae = r.MAE + 10 // crash penalty, as in Characterize
+		}
+		return mae
+	}
+
+	var cache campaign.Cache
+	if cfg.CacheDir != "" {
+		dc, err := campaign.NewDirCache(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: sensitivity: %w", err)
+		}
+		cache = dc
+	}
+	eng := &campaign.Engine{
+		Workers:       cfg.Workers,
+		KernelWorkers: cfg.KernelWorkers,
+		Cache:         cache,
+		Obs:           cfg.Obs,
+		Hooks: campaign.Hooks{
+			// JobDone is serialized by the engine; samples complete in
+			// worker order, so Progress lines may interleave but the
+			// screening outcome does not depend on them.
+			JobDone: func(ev campaign.JobEvent) {
+				if cfg.Progress != nil && ev.Err == nil {
+					cfg.Progress(fmt.Sprintf("%v -> %.4f", *ev.Spec.Fixed, penalized(ev.Result)))
+				}
+			},
+		},
+	}
+	results, _, err := eng.Run(cfg.Context, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("core: sensitivity: %w", err)
+	}
 
 	type sample struct {
 		setting knobs.Setting
 		mae     float64
 	}
-	var samples []sample
-	for i := 0; i < cfg.Samples; i++ {
-		setting := knobs.Setting{
-			ISP:       ispIDs[rng.Intn(len(ispIDs))],
-			ROI:       1 + rng.Intn(5),
-			SpeedKmph: knobs.Speeds[rng.Intn(len(knobs.Speeds))],
-		}
-		run, err := sim.Run(sim.Config{
-			Track:            track,
-			Camera:           cfg.Camera,
-			Seed:             cfg.Seed + int64(i),
-			FixedSetting:     &setting,
-			FixedClassifiers: 3,
-		})
-		if err != nil {
-			return nil, err
-		}
-		mae := run.PerSector.Sector(evalSector)
-		if run.Crashed || mae == 0 {
-			mae = run.MAE + 10 // crash penalty, as in Characterize
-		}
-		samples = append(samples, sample{setting, mae})
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%v -> %.4f", setting, mae))
-		}
+	samples := make([]sample, cfg.Samples)
+	for i, r := range results {
+		samples[i] = sample{settings[i], penalized(r)}
 	}
 
 	group := func(key func(knobs.Setting) string) KnobSensitivity {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"hsas/internal/knobs"
 	"hsas/internal/world"
 )
@@ -25,8 +27,23 @@ type Degradation struct {
 	// saturation point); negative disables the fallback.
 	FallbackAfter int
 	// RecoverAfter is the number of consecutive usable measurements
-	// required to leave the fallback. 0 means the default (5).
+	// required to leave the fallback. 0 means the default (5). Unlike
+	// FallbackAfter there is no disabled mode — recovery always has a
+	// threshold — so negative values are a configuration error
+	// (sim.Run fails fast; see Validate).
 	RecoverAfter int
+}
+
+// Validate rejects incoherent degradation knobs. FallbackAfter may be
+// negative (that disables the fallback), but RecoverAfter has no
+// disabled mode: a negative value used to be silently coerced to the
+// default, contradicting the field docs, and is now an explicit error.
+func (d Degradation) Validate() error {
+	if d.RecoverAfter < 0 {
+		return fmt.Errorf("sim: Degradation.RecoverAfter = %d is negative; 0 means the default (%d) and recovery cannot be disabled — use FallbackAfter < 0 to disable the fallback instead",
+			d.RecoverAfter, defaultRecoverAfter)
+	}
+	return nil
 }
 
 // Default streak lengths for the fallback policy. Entry matches the
@@ -80,7 +97,9 @@ func newDegrade(cfg *Config) degrade {
 	if d.fallbackAfter == 0 {
 		d.fallbackAfter = defaultFallbackAfter
 	}
-	if d.recoverAfter <= 0 {
+	// Negative RecoverAfter was rejected by Validate in sim.Run; only
+	// the zero value reaches here and takes the default.
+	if d.recoverAfter == 0 {
 		d.recoverAfter = defaultRecoverAfter
 	}
 	// Characterization mode pins the knobs; the fallback must not fight

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hsas/internal/camera"
+	"hsas/internal/knobs"
+	"hsas/internal/world"
+)
+
+// TestNegativeRecoverAfterRejected is the regression test for the
+// silent-coercion bug: Degradation.RecoverAfter < 0 used to be quietly
+// replaced by the default recovery threshold even though the field docs
+// promised no disabled mode. It must now fail the run fast, with an
+// error that points at FallbackAfter as the knob that actually has a
+// disable semantics.
+func TestNegativeRecoverAfterRejected(t *testing.T) {
+	if err := (Degradation{RecoverAfter: 5}).Validate(); err != nil {
+		t.Fatalf("positive RecoverAfter rejected: %v", err)
+	}
+	if err := (Degradation{FallbackAfter: -1}).Validate(); err != nil {
+		t.Fatalf("negative FallbackAfter is the documented disable switch, got %v", err)
+	}
+	err := (Degradation{RecoverAfter: -1}).Validate()
+	if err == nil {
+		t.Fatal("Validate accepted RecoverAfter = -1")
+	}
+	for _, want := range []string{"RecoverAfter", "-1", "FallbackAfter"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	sit := world.PaperSituations[0]
+	_, err = Run(Config{
+		Track:   world.SituationTrack(sit),
+		Camera:  camera.Scaled(64, 32),
+		Case:    knobs.Case1,
+		Seed:    1,
+		Degrade: Degradation{Enabled: true, RecoverAfter: -1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "RecoverAfter") {
+		t.Fatalf("sim.Run with RecoverAfter = -1 returned %v, want fail-fast config error", err)
+	}
+}
+
+// TestZeroRecoverAfterStillDefaults pins the non-error half of the fix:
+// the zero value keeps meaning "use the default", so existing configs
+// are untouched.
+func TestZeroRecoverAfterStillDefaults(t *testing.T) {
+	d := newDegrade(&Config{Degrade: Degradation{Enabled: true}})
+	if d.recoverAfter != defaultRecoverAfter {
+		t.Fatalf("zero RecoverAfter resolved to %d, want default %d", d.recoverAfter, defaultRecoverAfter)
+	}
+	if d.fallbackAfter != defaultFallbackAfter {
+		t.Fatalf("zero FallbackAfter resolved to %d, want default %d", d.fallbackAfter, defaultFallbackAfter)
+	}
+}

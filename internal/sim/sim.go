@@ -211,6 +211,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Track == nil {
 		return nil, fmt.Errorf("sim: Config.Track is required")
 	}
+	if err := cfg.Degrade.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.StepS == 0 {
 		cfg.StepS = 0.005
 	}
