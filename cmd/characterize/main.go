@@ -53,6 +53,7 @@ func parseCLI(args []string, errOut io.Writer) (*cliConfig, error) {
 	samples := fs.Int("samples", 24, "Monte-Carlo samples per situation (with -sensitivity)")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs); results are identical either way")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache; interrupted sweeps resume, repeats cost zero simulations")
+	lakeDir := fs.String("lake-dir", "", "append every run's result to the columnar lake here (query with lkas-lake)")
 	logLevel := fs.String("log-level", "", "enable structured sweep logging at this level: debug, info, warn or error")
 	metricsOut := fs.String("metrics-out", "", "after the sweep, dump Prometheus text exposition to this file ('-' for stderr)")
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +76,7 @@ func parseCLI(args []string, errOut io.Writer) (*cliConfig, error) {
 			FullROISweep: *full,
 			Workers:      *workers,
 			CacheDir:     *cacheDir,
+			LakeDir:      *lakeDir,
 		},
 		sensitivity: *sensitivity,
 		samples:     *samples,

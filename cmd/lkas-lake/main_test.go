@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hsas/internal/lake"
+)
+
+// buildLake seals a small two-campaign lake with traces.
+func buildLake(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := lake.OpenWriter(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(campaign, key, sit string, mae float64, crashed bool) {
+		if err := w.AppendResult(lake.ResultRow{
+			Campaign: campaign, Key: key, Situation: sit, MAE: mae, Crashed: crashed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("c1", "k1", "Highway|Single|Day", 0.10, false)
+	put("c1", "k2", "Urban|Dotted|Night", 0.25, true)
+	put("c2", "k1", "Highway|Single|Day", 0.10, false)
+	if err := w.AppendTrace(
+		lake.TraceRow{Campaign: "c1", Key: "k1", DetOK: true, RawDetOK: true},
+		lake.TraceRow{Campaign: "c1", Key: "k1", DetOK: false, RawDetOK: true},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestSummaryCommand(t *testing.T) {
+	dir := buildLake(t)
+	out, errOut, code := runCLI(t, "-dir", dir, "summary")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var got struct {
+		Results *lake.GroupStats  `json:"results"`
+		Traces  lake.TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("summary output not JSON: %v\n%s", err, out)
+	}
+	if got.Results == nil || got.Results.Jobs != 3 || got.Results.Crashes != 1 {
+		t.Fatalf("summary results = %+v", got.Results)
+	}
+	if got.Traces.Rows != 2 || got.Traces.GateTrips != 1 {
+		t.Fatalf("summary traces = %+v", got.Traces)
+	}
+	if !strings.Contains(errOut, "scanned") {
+		t.Fatalf("missing scan stats on stderr: %q", errOut)
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	dir := buildLake(t)
+	out, errOut, code := runCLI(t, "-dir", dir, "query", "-group-by", "situation")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON groups, got %d:\n%s", len(lines), out)
+	}
+	var g lake.GroupStats
+	if err := json.Unmarshal([]byte(lines[0]), &g); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if g.Group["situation"] != "Highway|Single|Day" || g.Jobs != 2 {
+		t.Fatalf("first group = %+v", g)
+	}
+
+	// -dedup collapses the cross-campaign duplicate of k1.
+	out, _, code = runCLI(t, "-dir", dir, "query", "-group-by", "situation", "-dedup")
+	if code != 0 {
+		t.Fatal("dedup query failed")
+	}
+	if err := json.Unmarshal([]byte(strings.SplitN(out, "\n", 2)[0]), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Jobs != 1 {
+		t.Fatalf("dedup first group jobs = %d, want 1", g.Jobs)
+	}
+
+	// -campaign filters.
+	out, _, code = runCLI(t, "-dir", dir, "query", "-campaign", "c2")
+	if code != 0 {
+		t.Fatal("campaign query failed")
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 1 {
+		t.Fatalf("campaign filter groups = %d, want 1", n)
+	}
+}
+
+func TestTracesCommand(t *testing.T) {
+	dir := buildLake(t)
+	out, _, code := runCLI(t, "-dir", dir, "traces", "-campaign", "c1")
+	if code != 0 {
+		t.Fatal("traces failed")
+	}
+	var got lake.TraceSummary
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 2 || got.GateTrips != 1 || got.CoastedCycles != 1 {
+		t.Fatalf("traces = %+v", got)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := buildLake(t)
+	for _, tc := range [][]string{
+		{},                    // no -dir, no command
+		{"-dir", dir},         // no command
+		{"-dir", dir, "nope"}, // unknown command
+		{"-dir", dir, "query", "-group-by", "nope"}, // unknown axis → exit 1
+		{"-dir", dir, "query", "extra"},             // stray operand
+	} {
+		if _, _, code := runCLI(t, tc...); code == 0 {
+			t.Fatalf("args %v: want nonzero exit", tc)
+		}
+	}
+}

@@ -11,6 +11,11 @@
 // The queue is bounded: submissions beyond -queue pending campaigns get
 // 429 (backpressure instead of OOM). SIGTERM/SIGINT drains gracefully —
 // in-flight work checkpoints, queued campaigns are canceled.
+//
+// With -lake-dir, every completed job is also appended to a columnar
+// result lake and the /v1/analytics endpoints serve fleet aggregations
+// over it (see internal/lake and cmd/lkas-lake). -pprof mounts the Go
+// profiler under /debug/pprof/ (off by default).
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	"hsas/internal/campaign"
+	"hsas/internal/lake"
 	"hsas/internal/obs"
 )
 
@@ -33,6 +39,8 @@ import (
 type options struct {
 	addr         string
 	cacheDir     string
+	lakeDir      string
+	pprof        bool
 	queue        int
 	workers      int
 	kernels      int
@@ -48,6 +56,8 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	o := &options{}
 	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
 	fs.StringVar(&o.cacheDir, "cache-dir", "", "content-addressed result cache directory (empty = in-memory, lost on restart)")
+	fs.StringVar(&o.lakeDir, "lake-dir", "", "columnar result-lake directory for fleet analytics (empty = analytics endpoints disabled)")
+	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; exposes runtime internals)")
 	fs.IntVar(&o.queue, "queue", 8, "max campaigns queued before submissions get 429")
 	fs.IntVar(&o.workers, "workers", 0, "parallel simulation workers per campaign (0 = all CPUs)")
 	fs.IntVar(&o.kernels, "kernel-workers", 0, "per-run image/GEMM kernel goroutines (0 = CPUs/workers)")
@@ -85,6 +95,7 @@ func serverConfig(o *options, logOut io.Writer) (campaign.ServerConfig, error) {
 		Workers:       o.workers,
 		KernelWorkers: o.kernels,
 		QueueSize:     o.queue,
+		EnablePprof:   o.pprof,
 		Obs: &obs.Observer{
 			Log:     obs.NewLogger(logOut, lvl),
 			Metrics: obs.NewRegistry(),
@@ -96,6 +107,13 @@ func serverConfig(o *options, logOut io.Writer) (campaign.ServerConfig, error) {
 			return campaign.ServerConfig{}, err
 		}
 		cfg.Cache = cache
+	}
+	if o.lakeDir != "" {
+		lw, err := lake.OpenWriter(o.lakeDir, nil)
+		if err != nil {
+			return campaign.ServerConfig{}, err
+		}
+		cfg.Lake = lw
 	}
 	return cfg, nil
 }
@@ -120,7 +138,7 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Info("lkas-serve listening", "addr", o.addr, "queue", o.queue,
-		"cache_dir", o.cacheDir, "workers", o.workers)
+		"cache_dir", o.cacheDir, "lake_dir", o.lakeDir, "workers", o.workers)
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -140,5 +158,11 @@ func main() {
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	_ = httpSrv.Shutdown(shutCtx)
+	if cfg.Lake != nil {
+		// Seal any still-buffered result rows into a segment.
+		if err := cfg.Lake.Close(); err != nil {
+			log.Warn("closing result lake", "err", err)
+		}
+	}
 	log.Info("lkas-serve stopped")
 }

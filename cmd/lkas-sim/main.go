@@ -34,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "noise seed")
 	trace := flag.Bool("trace", false, "print one line per control cycle")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address during the run (e.g. :9090)")
+	pprofOn := flag.Bool("pprof", false, "also mount net/http/pprof on the -metrics-addr listener (off by default)")
 	traceOut := flag.String("trace-out", "", "write per-stage spans to this file (Chrome trace-event JSON; a .jsonl extension selects JSON lines)")
 	logLevel := flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error")
 	faultSpec := flag.String("faults", "", "deterministic fault schedule, e.g. 'drop:p=0.02;noise:mag=0.2@200-400;stuck:road=0@100-300' (kinds: drop, noise, isp, stuck, flip, overrun; windows are frame ranges)")
@@ -84,7 +85,11 @@ func main() {
 			observer.Trace = tracer
 		}
 		if *metricsAddr != "" {
-			srv, err := obs.StartServer(*metricsAddr, observer.Metrics)
+			var srvOpts []obs.ServerOption
+			if *pprofOn {
+				srvOpts = append(srvOpts, obs.WithPprof())
+			}
+			srv, err := obs.StartServer(*metricsAddr, observer.Metrics, srvOpts...)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
 				os.Exit(1)

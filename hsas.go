@@ -46,6 +46,7 @@ import (
 	"hsas/internal/fault"
 	"hsas/internal/isp"
 	"hsas/internal/knobs"
+	"hsas/internal/lake"
 	"hsas/internal/obs"
 	"hsas/internal/perception"
 	"hsas/internal/platform"
@@ -286,6 +287,41 @@ var (
 	NewCampaignMemCache = campaign.NewMemCache
 	NewCampaignDirCache = campaign.NewDirCache
 	NewCampaignServer   = campaign.NewServer
+)
+
+// Columnar result lake: an append-only store of campaign results and
+// per-cycle traces with single-scan fleet aggregation (QoC percentiles,
+// crash and fault-activation rates, degradation dwell, grouped by any
+// grid axis). The campaign engine appends to it alongside the cache;
+// cmd/lkas-lake and the lkas-serve /v1/analytics endpoints query it.
+type (
+	// LakeWriter appends rows and seals them into immutable segments.
+	LakeWriter = lake.Writer
+	// LakeWriterOptions tunes segment sizing.
+	LakeWriterOptions = lake.WriterOptions
+	// LakeResultRow is one completed job in the lake's result schema.
+	LakeResultRow = lake.ResultRow
+	// LakeTraceRow is one per-cycle sample in the trace schema.
+	LakeTraceRow = lake.TraceRow
+	// LakeQuery selects and groups result rows for aggregation.
+	LakeQuery = lake.Query
+	// LakeGroupStats is one aggregation group's statistics.
+	LakeGroupStats = lake.GroupStats
+	// LakeScanStats reports segments, rows and bytes visited by a scan.
+	LakeScanStats = lake.ScanStats
+	// LakeTraceSummary rolls up trace rows (gate trips, coasted cycles).
+	LakeTraceSummary = lake.TraceSummary
+)
+
+// OpenLakeWriter opens (or resumes) a lake directory for appending;
+// LakeAggregate answers a grouped aggregation from one sequential scan;
+// LakeSummarizeTraces rolls up the per-cycle trace store; LakeAxes
+// lists the valid group-by axes.
+var (
+	OpenLakeWriter      = lake.OpenWriter
+	LakeAggregate       = lake.Aggregate
+	LakeSummarizeTraces = lake.SummarizeTraces
+	LakeAxes            = lake.Axes
 )
 
 // NoiseModel characterizes situation-dependent sensing noise for the LQG

@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"hsas/internal/lake"
 	"hsas/internal/obs"
+	"hsas/internal/sim"
 )
 
 // Engine runs campaign jobs on a bounded sharded worker pool. Identical
@@ -26,6 +28,16 @@ type Engine struct {
 	// Cache checkpoints every completed job under its content address;
 	// nil disables caching (every job simulates).
 	Cache Cache
+	// Lake, when set, appends every completed job's result — and, for
+	// record_trace jobs, its per-frame trace — to the columnar result
+	// lake, labeled LakeCampaign. Append failures are logged, never
+	// fatal: the content-addressed cache stays the source of truth and
+	// the lake its analytical projection. Buffered rows are flushed
+	// (sealed into segments) when Run returns, completed or not.
+	Lake *lake.Writer
+	// LakeCampaign labels this run's lake rows (e.g. the lkas-serve
+	// campaign id); empty defaults to "adhoc".
+	LakeCampaign string
 	// Obs receives engine logs, campaign counters (jobs, cache hits and
 	// misses, in-flight gauge, per-job wall-time histogram) and one span
 	// per simulated job on its shard's trace lane. The inner closed-loop
@@ -169,6 +181,37 @@ func (e *Engine) Run(ctx context.Context, jobs []JobSpec) ([]*JobResult, RunStat
 	}
 	stats.Unique = len(uniq)
 
+	lakeCampaign := e.LakeCampaign
+	if lakeCampaign == "" {
+		lakeCampaign = "adhoc"
+	}
+	// appendLake projects one completed job onto the result lake. The
+	// lake is best-effort: a failed append is logged and the job still
+	// succeeds (its result lives in the cache regardless).
+	appendLake := func(u *uniqueJob, res *JobResult, cached bool, points []sim.TracePoint) {
+		if e.Lake == nil {
+			return
+		}
+		if err := e.Lake.AppendResult(lakeResultRow(lakeCampaign, &u.spec, u.key, res, cached)); err != nil {
+			o.Logger().Warn("lake append failed", "key", u.key[:12], "err", err)
+		}
+		if len(points) > 0 {
+			if err := e.Lake.AppendTrace(lakeTraceRows(lakeCampaign, u.key, points)...); err != nil {
+				o.Logger().Warn("lake trace append failed", "key", u.key[:12], "err", err)
+			}
+		}
+	}
+	// Seal buffered lake rows into segments on every exit path so a
+	// finished (or interrupted) Run leaves the lake scannable.
+	defer func() {
+		if e.Lake == nil {
+			return
+		}
+		if err := e.Lake.Flush(); err != nil {
+			o.Logger().Warn("lake flush failed", "err", err)
+		}
+	}()
+
 	var hookMu sync.Mutex // serializes JobDone across shards
 	done := func(ev JobEvent) {
 		hookMu.Lock()
@@ -197,6 +240,7 @@ func (e *Engine) Run(ctx context.Context, jobs []JobSpec) ([]*JobResult, RunStat
 				stats.CacheHits++
 				met.jobs.Inc()
 				met.hits.Inc()
+				appendLake(u, res, true, nil)
 				done(JobEvent{Index: u.indices[0], Indices: u.indices, Spec: &u.spec,
 					Result: res, Cached: true, Worker: -1})
 				continue
@@ -239,7 +283,7 @@ func (e *Engine) Run(ctx context.Context, jobs []JobSpec) ([]*JobResult, RunStat
 					e.Hooks.JobStart(ev)
 				}
 				met.inflight.Add(1)
-				res, traceCSV, err := u.spec.run(kernelWorkers, inner)
+				res, points, traceCSV, err := u.spec.run(kernelWorkers, inner)
 				met.inflight.Add(-1)
 				if err == nil && e.Cache != nil {
 					// Checkpoint before reporting: a result the caller saw
@@ -271,6 +315,7 @@ func (e *Engine) Run(ctx context.Context, jobs []JobSpec) ([]*JobResult, RunStat
 				nSim++
 				errMu.Unlock()
 				fill(u, res)
+				appendLake(u, res, false, points)
 				ev.Result = res
 				done(ev)
 			}

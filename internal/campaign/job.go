@@ -277,8 +277,8 @@ func (j *JobSpec) simConfig(kernelWorkers int, inner *obs.Observer) sim.Config {
 }
 
 // run executes one normalized job and packages the result (plus the
-// trace CSV when requested).
-func (j *JobSpec) run(kernelWorkers int, inner *obs.Observer) (*JobResult, []byte, error) {
+// per-cycle trace points and their CSV encoding when requested).
+func (j *JobSpec) run(kernelWorkers int, inner *obs.Observer) (*JobResult, []sim.TracePoint, []byte, error) {
 	cfg := j.simConfig(kernelWorkers, inner)
 	var rec trace.Recorder
 	if j.RecordTrace {
@@ -287,7 +287,7 @@ func (j *JobSpec) run(kernelWorkers int, inner *obs.Observer) (*JobResult, []byt
 	start := time.Now()
 	res, err := sim.Run(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	out := &JobResult{
 		MAE:              res.MAE,
@@ -313,9 +313,9 @@ func (j *JobSpec) run(kernelWorkers int, inner *obs.Observer) (*JobResult, []byt
 	if j.RecordTrace {
 		var buf bytes.Buffer
 		if err := rec.WriteCSV(&buf); err != nil {
-			return nil, nil, fmt.Errorf("campaign: encoding trace: %w", err)
+			return nil, nil, nil, fmt.Errorf("campaign: encoding trace: %w", err)
 		}
 		traceCSV = buf.Bytes()
 	}
-	return out, traceCSV, nil
+	return out, rec.Points, traceCSV, nil
 }

@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hsas/internal/lake"
+	"hsas/internal/obs"
+)
+
+// TestEngineAppendsToLake runs a record_trace job through the engine
+// twice (cold, then warm from cache) and checks both completions — the
+// simulated one and the cache hit — landed in the lake, the first with
+// its per-cycle trace.
+func TestEngineAppendsToLake(t *testing.T) {
+	dir := t.TempDir()
+	lw, err := lake.OpenWriter(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := tinyJob(1)
+	job.RecordTrace = true
+	eng := &Engine{Workers: 1, Cache: NewMemCache(), Lake: lw, LakeCampaign: "run1"}
+	if _, _, err := eng.Run(context.Background(), []JobSpec{job}); err != nil {
+		t.Fatal(err)
+	}
+	eng.LakeCampaign = "run2"
+	if _, stats, err := eng.Run(context.Background(), []JobSpec{job}); err != nil || stats.CacheHits != 1 {
+		t.Fatalf("warm run: stats=%+v err=%v", stats, err)
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var rows []lake.ResultRow
+	if _, err := lake.ScanResults(dir, func(r *lake.ResultRow) error {
+		rows = append(rows, *r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("lake holds %d result rows, want 2 (simulated + cache hit)", len(rows))
+	}
+	byCampaign := map[string]lake.ResultRow{}
+	for _, r := range rows {
+		byCampaign[r.Campaign] = r
+	}
+	cold, warm := byCampaign["run1"], byCampaign["run2"]
+	if cold.Cached || !warm.Cached {
+		t.Fatalf("cached flags: cold=%v warm=%v", cold.Cached, warm.Cached)
+	}
+	if cold.Key != warm.Key || len(cold.Key) != 64 {
+		t.Fatalf("keys diverge: %q vs %q", cold.Key, warm.Key)
+	}
+	if cold.Frames == 0 || cold.Situation == "" {
+		t.Fatalf("simulated row looks empty: %+v", cold)
+	}
+
+	// Only the simulated run records a trace.
+	sum, _, err := lake.SummarizeTraces(dir, "run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rows == 0 {
+		t.Fatal("simulated record_trace run left no trace rows")
+	}
+	if sum2, _, err := lake.SummarizeTraces(dir, "run2"); err != nil || sum2.Rows != 0 {
+		t.Fatalf("cache hit recorded a trace: %+v err=%v", sum2, err)
+	}
+}
+
+// TestServerAnalytics drives the /v1/analytics endpoints end-to-end:
+// run a campaign with a lake attached, then aggregate it over HTTP.
+func TestServerAnalytics(t *testing.T) {
+	dir := t.TempDir()
+	lw, err := lake.OpenWriter(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := NewServer(ServerConfig{Workers: 1, Lake: lw, Obs: &obs.Observer{Metrics: reg}})
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := postCampaign(t, ts, tinyGrid)
+	id := body["id"].(string)
+	waitState(t, ts, id, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/analytics/summary?campaign=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum struct {
+		Results *lake.GroupStats `json:"results"`
+		Scan    lake.ScanStats   `json:"scan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || sum.Results == nil || sum.Results.Jobs != 1 {
+		t.Fatalf("summary = %d %+v", resp.StatusCode, sum.Results)
+	}
+	if sum.Scan.Rows == 0 || sum.Scan.Bytes == 0 {
+		t.Fatalf("summary scan stats empty: %+v", sum.Scan)
+	}
+
+	// query streams one GroupStats line per group plus a scan trailer.
+	resp2, err := http.Get(ts.URL + "/v1/analytics/query?group_by=situation,case&campaign=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("query content-type = %q", ct)
+	}
+	var groups []lake.GroupStats
+	var trailer struct {
+		Scan *lake.ScanStats `json:"scan"`
+	}
+	sc := bufio.NewScanner(resp2.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if strings.HasPrefix(string(line), `{"scan"`) {
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var g lake.GroupStats
+		if err := json.Unmarshal(line, &g); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) != 1 || groups[0].Jobs != 1 || groups[0].Group["case"] == "" {
+		t.Fatalf("query groups = %+v", groups)
+	}
+	if trailer.Scan == nil || trailer.Scan.Rows == 0 {
+		t.Fatalf("missing scan trailer: %+v", trailer.Scan)
+	}
+
+	// Bad group axis is a client error, not a scan failure.
+	resp3, err := http.Get(ts.URL + "/v1/analytics/query?group_by=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad axis = %d, want 400", resp3.StatusCode)
+	}
+
+	// The scan histograms observed the queries.
+	if got := counterValue(t, reg, "hsas_lake_scan_seconds_count"); got < 2 {
+		t.Fatalf("hsas_lake_scan_seconds_count = %v, want >= 2", got)
+	}
+}
+
+// TestServerAnalyticsWithoutLake pins the 404 contract when the server
+// runs lake-less.
+func TestServerAnalyticsWithoutLake(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/v1/analytics/summary", "/v1/analytics/query"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without lake = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerPprofOptIn checks the profiler is mounted only when
+// EnablePprof is set.
+func TestServerPprofOptIn(t *testing.T) {
+	plain := httptest.NewServer(NewServer(ServerConfig{}).Handler())
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof exposed without opt-in: %d", resp.StatusCode)
+	}
+
+	prof := httptest.NewServer(NewServer(ServerConfig{EnablePprof: true}).Handler())
+	defer prof.Close()
+	resp2, err := http.Get(prof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with EnablePprof = %d, want 200", resp2.StatusCode)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
 
+	"hsas/internal/lake"
 	"hsas/internal/obs"
 )
 
@@ -30,6 +32,14 @@ type ServerConfig struct {
 	// Obs receives server logs and metrics (queue depth, campaign
 	// counters) plus the engine instrumentation.
 	Obs *obs.Observer
+	// Lake, when set, receives every completed job's result row (and
+	// record_trace traces), labeled with the campaign id, and backs the
+	// /v1/analytics endpoints. Nil disables both.
+	Lake *lake.Writer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API
+	// handler. Off by default: the profiler exposes heap and goroutine
+	// internals and belongs on operator-only listeners.
+	EnablePprof bool
 }
 
 // Campaign lifecycle states reported by the status API.
@@ -97,8 +107,11 @@ func (c *campaignState) snapshot() Status {
 //	GET  /v1/campaigns/{id}/events      NDJSON status stream until terminal
 //	GET  /v1/campaigns/{id}/results     job results (409 until done)
 //	GET  /v1/campaigns/{id}/jobs/{i}/trace  per-cycle trace CSV (record_trace grids)
+//	GET  /v1/analytics/summary          lake rollup + trace summary (404 without a lake)
+//	GET  /v1/analytics/query            NDJSON grouped aggregation over the lake
 //	GET  /healthz                       200, or 503 once draining
 //	GET  /metrics                       Prometheus exposition (when Obs.Metrics set)
+//	/debug/pprof/*                      profiler (only with EnablePprof)
 type Server struct {
 	cfg   ServerConfig
 	cache Cache
@@ -119,6 +132,10 @@ type Server struct {
 	rejectedC *obs.Counter
 	doneC     *obs.Counter
 	failedC   *obs.Counter
+
+	scanSecH  *obs.Histogram
+	scanRowsH *obs.Histogram
+	scanMBH   *obs.Histogram
 }
 
 // NewServer builds a Server; call Start to launch the executor.
@@ -142,6 +159,12 @@ func NewServer(cfg ServerConfig) *Server {
 		rejectedC: reg.Counter("hsas_serve_campaigns_rejected_total", "campaign submissions rejected with 429 (queue full)"),
 		doneC:     reg.Counter("hsas_serve_campaigns_done_total", "campaigns completed successfully"),
 		failedC:   reg.Counter("hsas_serve_campaigns_failed_total", "campaigns that failed or were canceled"),
+		scanSecH: reg.Histogram("hsas_lake_scan_seconds", "wall time per analytics lake scan",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}),
+		scanRowsH: reg.Histogram("hsas_lake_scan_rows_per_second", "lake scan throughput in rows/s",
+			[]float64{1e3, 1e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7}),
+		scanMBH: reg.Histogram("hsas_lake_scan_megabytes", "bytes scanned per analytics query, in MB",
+			[]float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000}),
 	}
 }
 
@@ -222,6 +245,8 @@ func (s *Server) execute(st *campaignState) {
 		KernelWorkers: s.cfg.KernelWorkers,
 		Cache:         s.cache,
 		Obs:           s.obs,
+		Lake:          s.cfg.Lake,
+		LakeCampaign:  st.id,
 		Hooks: Hooks{JobDone: func(ev JobEvent) {
 			st.mu.Lock()
 			st.done += len(ev.Indices)
@@ -271,9 +296,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/campaigns/{id}/jobs/{index}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/analytics/summary", s.handleAnalyticsSummary)
+	mux.HandleFunc("GET /v1/analytics/query", s.handleAnalyticsQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if reg := s.obs.Registry(); reg != nil {
 		mux.Handle("GET /metrics", reg.Handler())
+	}
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }
@@ -415,15 +449,40 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	st.mu.Lock()
 	results := st.results
 	st.mu.Unlock()
-	out := struct {
-		Status
-		Results []jobOutcome `json:"results"`
-	}{Status: snap, Results: make([]jobOutcome, len(st.jobs))}
-	for i := range st.jobs {
-		key, _ := st.jobs[i].Key() // jobs were normalized at submit; cannot fail
-		out.Results[i] = jobOutcome{Job: st.jobs[i], Key: key, Result: results[i]}
+
+	// Stream the results array one job at a time instead of buffering
+	// the full payload: a 100k-job campaign's results are tens of MB,
+	// and materializing them doubles the server's peak heap for the
+	// duration of every download. The wire shape is unchanged — a
+	// single JSON object {<status fields>, "results": [...]} — so the
+	// status header is marshaled first and re-opened before the array.
+	head, err := json.Marshal(snap)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding status: %v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(head[:len(head)-1]) // drop closing '}'
+	_, _ = w.Write([]byte(`,"results":[`))
+	fl, canFlush := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for i := range st.jobs {
+		if i > 0 {
+			_, _ = w.Write([]byte(","))
+		}
+		key, _ := st.jobs[i].Key() // jobs were normalized at submit; cannot fail
+		// Encode appends '\n'; inside an array that is insignificant
+		// whitespace, and it keeps the stream line-oriented.
+		if err := enc.Encode(jobOutcome{Job: st.jobs[i], Key: key, Result: results[i]}); err != nil {
+			return // client went away
+		}
+		if canFlush && i%256 == 255 {
+			fl.Flush()
+		}
+	}
+	_, _ = w.Write([]byte("]}\n"))
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

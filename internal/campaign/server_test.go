@@ -299,3 +299,48 @@ func TestServerDrain(t *testing.T) {
 		t.Fatalf("submit while draining = %d", resp2.StatusCode)
 	}
 }
+
+// TestServerResultsStreamedShape checks the incrementally streamed
+// results payload is still one well-formed JSON document with the
+// original {status..., "results": [...]} shape for a multi-job
+// campaign (element separators are emitted by the streamer, not the
+// encoder).
+func TestServerResultsStreamedShape(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 2})
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := postCampaign(t, ts, `{"situations":[1],"cases":[1,2],"cameras":[[64,32]]}`)
+	id := body["id"].(string)
+	waitState(t, ts, id, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Status
+		Results []jobOutcome `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("streamed payload is not one JSON document: %v\n%s", err, raw)
+	}
+	if out.ID != id || out.State != StateDone || len(out.Results) != 2 {
+		t.Fatalf("payload = %+v", out.Status)
+	}
+	for i, r := range out.Results {
+		if r.Result == nil || len(r.Key) != 64 {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+	if json.Valid(raw) != true {
+		t.Fatal("payload failed json.Valid")
+	}
+}

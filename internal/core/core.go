@@ -29,6 +29,7 @@ import (
 	"hsas/internal/campaign"
 	"hsas/internal/control"
 	"hsas/internal/knobs"
+	"hsas/internal/lake"
 	"hsas/internal/mat"
 	"hsas/internal/obs"
 	"hsas/internal/perception"
@@ -77,6 +78,11 @@ type CharacterizeConfig struct {
 	// unchanged configuration simulates nothing (see internal/campaign
 	// for the cache-key contract).
 	CacheDir string
+	// LakeDir, when set, appends every completed run's result row to the
+	// columnar result lake rooted there (campaign label "characterize"),
+	// making the sweep queryable by the fleet-analytics tooling
+	// (lkas-lake, lkas-serve /v1/analytics). See internal/lake.
+	LakeDir string
 	// Context cancels the sweep between runs; in-flight runs finish and
 	// are checkpointed before Characterize returns the context error.
 	// nil means context.Background().
@@ -214,12 +220,27 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 		}
 		cache = dc
 	}
+	var lakeW *lake.Writer
+	if cfg.LakeDir != "" {
+		lw, err := lake.OpenWriter(cfg.LakeDir, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: characterize: %w", err)
+		}
+		lakeW = lw
+		defer func() {
+			if cerr := lakeW.Close(); cerr != nil {
+				o.Logger().Warn("closing result lake", "err", cerr)
+			}
+		}()
+	}
 	sweepStart := o.Tracer().Begin()
 	eng := &campaign.Engine{
 		Workers:       workers,
 		KernelWorkers: cfg.KernelWorkers,
 		Cache:         cache,
 		Obs:           o,
+		Lake:          lakeW,
+		LakeCampaign:  "characterize",
 		Hooks: campaign.Hooks{
 			JobStart: func(campaign.JobEvent) { busyG.Add(1) },
 			// JobDone is serialized by the engine, so Progress and log
@@ -285,6 +306,14 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 			"situation", sit.String(), "candidates", len(cands), "workers", n,
 			"best_isp", cands[0].Setting.ISP, "best_roi", cands[0].Setting.ROI,
 			"best_speed_kmph", cands[0].Setting.SpeedKmph, "best_mae_m", cands[0].MAE)
+	}
+	// End-of-run latency summary from the bucketed wall-time histogram
+	// (simulated runs only; cache hits never touch runH).
+	if runH.Count() > 0 {
+		o.Logger().Info("characterize run latency",
+			"runs", runH.Count(),
+			"p50_s", runH.Quantile(0.5),
+			"p95_s", runH.Quantile(0.95))
 	}
 	return res, nil
 }

@@ -1,0 +1,61 @@
+package lake
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// BenchmarkLakeEncode10k measures columnar encode throughput on the
+// synthetic 10k-job campaign and reports the lake-vs-JSON size ratio
+// (the per-job JSON documents are what the content-addressed cache
+// stores).
+func BenchmarkLakeEncode10k(b *testing.B) {
+	rows := syntheticCampaign(10_000)
+	var jsonBytes int64
+	for i := range rows {
+		doc, err := json.Marshal(rows[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		jsonBytes += int64(len(doc))
+	}
+	var seg []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg = EncodeResultSegment(rows)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(rows))/b.Elapsed().Seconds()*float64(b.N), "rows/s")
+	b.ReportMetric(float64(len(seg))/float64(len(rows)), "B/row")
+	b.ReportMetric(float64(jsonBytes)/float64(len(seg)), "json_to_lake_ratio")
+}
+
+// BenchmarkLakeScan10k measures the single-scan aggregation path over
+// a sealed 10k-job lake: the fleet-analytics hot loop.
+func BenchmarkLakeScan10k(b *testing.B) {
+	dir := b.TempDir()
+	w, err := OpenWriter(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range syntheticCampaign(10_000) {
+		if err := w.AppendResult(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var scan ScanStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, s, err := Aggregate(dir, Query{GroupBy: []string{"situation"}})
+		if err != nil || len(groups) == 0 {
+			b.Fatalf("aggregate: %d groups, err %v", len(groups), err)
+		}
+		scan = s
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(scan.Rows)/b.Elapsed().Seconds()*float64(b.N), "rows/s")
+	b.ReportMetric(float64(scan.Bytes)/b.Elapsed().Seconds()*float64(b.N)/1e6, "MB/s")
+}

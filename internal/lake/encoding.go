@@ -1,0 +1,276 @@
+package lake
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Column payload encodings. Every decoder is defensive: it validates
+// lengths before allocating and returns an error on any malformed
+// input — corrupt or truncated segments must never panic (the shard
+// decoder is natively fuzzed on this contract).
+
+// colType tags a column's payload encoding in the segment footer.
+type colType byte
+
+const (
+	// colInt is int64 as zigzag(delta-from-previous) varints.
+	colInt colType = 1
+	// colFloat is float64 bit-packed: IEEE-754 bits XORed with the
+	// previous value's bits, written as uvarints (runs of equal or
+	// near-equal values collapse to one byte).
+	colFloat colType = 2
+	// colBool is a bitmap, 8 rows per byte, LSB first.
+	colBool colType = 3
+	// colDict is a string dictionary (unique values in first-appearance
+	// order) followed by one dictionary index per row.
+	colDict colType = 4
+	// colStr is one length-prefixed string per row (for high-cardinality
+	// columns like content-address keys, where a dictionary degenerates).
+	colStr colType = 5
+)
+
+func (t colType) String() string {
+	switch t {
+	case colInt:
+		return "int"
+	case colFloat:
+		return "float"
+	case colBool:
+		return "bool"
+	case colDict:
+		return "dict"
+	case colStr:
+		return "str"
+	}
+	return fmt.Sprintf("colType(%d)", byte(t))
+}
+
+// zigzag maps signed deltas onto unsigned varint-friendly values.
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// byteReader is a bounds-checked cursor over a payload; every read
+// failure is sticky and surfaces as an error instead of a panic.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("lake: truncated or overlong uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b)-r.off {
+		r.fail("lake: %d bytes wanted at offset %d, %d available", n, r.off, len(r.b)-r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *byteReader) remaining() int { return len(r.b) - r.off }
+
+// --- int64 columns -----------------------------------------------------
+
+func encodeIntCol(vals []int64) []byte {
+	out := make([]byte, 0, len(vals))
+	prev := int64(0)
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, zigzag(v-prev))
+		prev = v
+	}
+	return out
+}
+
+func decodeIntCol(b []byte, n int) ([]int64, error) {
+	if len(b) < n { // every varint is at least one byte
+		return nil, fmt.Errorf("lake: int column has %d bytes for %d rows", len(b), n)
+	}
+	out := make([]int64, n)
+	r := &byteReader{b: b}
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += unzigzag(r.uvarint())
+		out[i] = prev
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("lake: int column has %d trailing bytes", r.remaining())
+	}
+	return out, nil
+}
+
+// --- float64 columns ---------------------------------------------------
+
+func encodeFloatCol(vals []float64) []byte {
+	out := make([]byte, 0, len(vals))
+	prev := uint64(0)
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		out = binary.AppendUvarint(out, bits^prev)
+		prev = bits
+	}
+	return out
+}
+
+func decodeFloatCol(b []byte, n int) ([]float64, error) {
+	if len(b) < n {
+		return nil, fmt.Errorf("lake: float column has %d bytes for %d rows", len(b), n)
+	}
+	out := make([]float64, n)
+	r := &byteReader{b: b}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		prev ^= r.uvarint()
+		out[i] = math.Float64frombits(prev)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("lake: float column has %d trailing bytes", r.remaining())
+	}
+	return out, nil
+}
+
+// --- bool columns ------------------------------------------------------
+
+func encodeBoolCol(vals []bool) []byte {
+	out := make([]byte, (len(vals)+7)/8)
+	for i, v := range vals {
+		if v {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+func decodeBoolCol(b []byte, n int) ([]bool, error) {
+	if want := (n + 7) / 8; len(b) != want {
+		return nil, fmt.Errorf("lake: bool column has %d bytes for %d rows (want %d)", len(b), n, want)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = b[i/8]&(1<<(i%8)) != 0
+	}
+	return out, nil
+}
+
+// --- string columns ----------------------------------------------------
+
+func encodeDictCol(vals []string) []byte {
+	ids := make(map[string]uint64, 16)
+	var dict []string
+	var out []byte
+	for _, v := range vals {
+		if _, ok := ids[v]; !ok {
+			ids[v] = uint64(len(dict))
+			dict = append(dict, v)
+		}
+	}
+	out = binary.AppendUvarint(out, uint64(len(dict)))
+	for _, d := range dict {
+		out = binary.AppendUvarint(out, uint64(len(d)))
+		out = append(out, d...)
+	}
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, ids[v])
+	}
+	return out
+}
+
+func decodeDictCol(b []byte, n int) ([]string, error) {
+	r := &byteReader{b: b}
+	nd := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nd > uint64(r.remaining()) { // each entry costs at least one byte
+		return nil, fmt.Errorf("lake: dictionary claims %d entries in %d bytes", nd, r.remaining())
+	}
+	dict := make([]string, nd)
+	for i := range dict {
+		l := r.uvarint()
+		if r.err == nil && l > uint64(r.remaining()) {
+			r.fail("lake: dictionary entry %d claims %d bytes, %d available", i, l, r.remaining())
+		}
+		dict[i] = string(r.bytes(int(l)))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() < n {
+		return nil, fmt.Errorf("lake: dict column has %d id bytes for %d rows", r.remaining(), n)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if id >= nd {
+			return nil, fmt.Errorf("lake: dict id %d outside dictionary of %d", id, nd)
+		}
+		out[i] = dict[id]
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("lake: dict column has %d trailing bytes", r.remaining())
+	}
+	return out, nil
+}
+
+func encodeStrCol(vals []string) []byte {
+	var out []byte
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
+func decodeStrCol(b []byte, n int) ([]string, error) {
+	if len(b) < n {
+		return nil, fmt.Errorf("lake: string column has %d bytes for %d rows", len(b), n)
+	}
+	out := make([]string, n)
+	r := &byteReader{b: b}
+	for i := 0; i < n; i++ {
+		l := r.uvarint()
+		if r.err == nil && l > uint64(r.remaining()) {
+			r.fail("lake: string %d claims %d bytes, %d available", i, l, r.remaining())
+		}
+		out[i] = string(r.bytes(int(l)))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("lake: string column has %d trailing bytes", r.remaining())
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package lake
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecodeResultSegment asserts the shard decoder's core contract:
+// arbitrary bytes — including bit-flipped and truncated real segments
+// seeded below — either decode or return an error, and never panic.
+// A successful decode must also re-encode without panicking.
+func FuzzDecodeResultSegment(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([]ResultRow, 25)
+	for i := range rows {
+		rows[i] = randResultRow(rng)
+	}
+	valid := EncodeResultSegment(rows)
+	f.Add(valid)
+	f.Add(EncodeResultSegment(nil))
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[len(valid)/3:])
+	corrupt := append([]byte(nil), valid...)
+	for i := 13; i < len(corrupt); i += 31 {
+		corrupt[i] ^= 0x5a
+	}
+	f.Add(corrupt)
+	f.Add([]byte(segMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := DecodeResultSegment(b)
+		if err == nil {
+			EncodeResultSegment(got)
+		}
+	})
+}
+
+// FuzzDecodeTraceSegment is the same contract for the trace schema.
+func FuzzDecodeTraceSegment(f *testing.F) {
+	rng := rand.New(rand.NewSource(6))
+	rows := make([]TraceRow, 40)
+	for i := range rows {
+		rows[i] = randTraceRow(rng)
+	}
+	valid := EncodeTraceSegment(rows)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-9])
+	f.Add([]byte("LKLAKE1\nnot a segment at all LKLAKE1\n"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := DecodeTraceSegment(b)
+		if err == nil {
+			EncodeTraceSegment(got)
+		}
+	})
+}

@@ -1,0 +1,305 @@
+// Package lake is the columnar result lake: a compact, append-only
+// store for campaign results and per-frame traces, built for fleet
+// analytics over millions of closed-loop runs. Where the campaign
+// cache answers "what was job X's result?" (one content-addressed file
+// per job), the lake answers "what does the whole fleet look like?"
+// (QoC percentiles, crash and fault-activation rates, degradation
+// dwell, grouped by any grid axis) from a single sequential scan —
+// no per-job file opens.
+//
+// Rows are buffered in memory and sealed into fixed-size immutable
+// shard segments (see segment.go for the byte layout): per-column
+// delta+varint/zigzag integers, XOR-bit-packed floats, bitmap bools
+// and dictionary strings, indexed by a footer so readers decode only
+// the columns a query touches. Sealing is an atomic temp-file rename,
+// so a crash mid-write never leaves a torn segment — the content-
+// addressed cache remains the source of truth for individual results,
+// and the lake is their analytical projection.
+package lake
+
+// ResultRow is one completed campaign job flattened onto the lake's
+// result schema: the grid axes that locate the job in the design space
+// plus the outcome fields the aggregation layer summarizes. Every
+// field round-trips bit-exactly through the columnar encoding.
+type ResultRow struct {
+	// Campaign labels the run that produced the row (the lkas-serve
+	// campaign id, or "characterize" for the design-time sweep), so a
+	// lake shared by many campaigns can be filtered and grouped.
+	Campaign string `json:"campaign"`
+	// Key is the job's content address in the campaign cache; rows and
+	// cache entries cross-reference through it.
+	Key string `json:"key"`
+
+	// Grid axes (see campaign.JobSpec).
+	Track            string  `json:"track"`
+	Situation        string  `json:"situation"` // situation label; "" on the nine-sector track
+	CamW             int64   `json:"cam_w"`
+	CamH             int64   `json:"cam_h"`
+	Case             int64   `json:"case"` // 0 for fixed-setting jobs
+	ISP              string  `json:"isp"`  // fixed-setting jobs; "" for case jobs
+	ROI              int64   `json:"roi"`
+	SpeedKmph        float64 `json:"speed_kmph"`
+	FixedClassifiers int64   `json:"fixed_classifiers"`
+	Seed             int64   `json:"seed"`
+	Faults           string  `json:"faults"`
+	Feedforward      bool    `json:"feedforward"`
+	// Cached marks rows served from the content-addressed cache rather
+	// than simulated during this campaign.
+	Cached bool `json:"cached"`
+
+	// Outcome (see campaign.JobResult).
+	MAE              float64 `json:"mae"`
+	Crashed          bool    `json:"crashed"`
+	CrashSector      int64   `json:"crash_sector"`
+	CrashTimeS       float64 `json:"crash_time_s"`
+	CompletedS       float64 `json:"completed_m"`
+	Frames           int64   `json:"frames"`
+	DetectFails      int64   `json:"detect_fails"`
+	Reconfigurations int64   `json:"reconfigurations"`
+	FaultEvents      int64   `json:"fault_events"`
+	HeldFrames       int64   `json:"held_frames"`
+	FallbackEntries  int64   `json:"fallback_entries"`
+	FallbackCycles   int64   `json:"fallback_cycles"`
+	DeadlineMisses   int64   `json:"deadline_misses"`
+	WallMS           float64 `json:"wall_ms"`
+}
+
+// TraceRow is one per-frame sample of one job's closed-loop trace,
+// keyed back to its result row by (Campaign, Key).
+type TraceRow struct {
+	Campaign  string  `json:"campaign"`
+	Key       string  `json:"key"`
+	TimeS     float64 `json:"time_s"`
+	S         float64 `json:"s_m"`
+	Sector    int64   `json:"sector"`
+	YLTrue    float64 `json:"yl_true"`
+	YLMeas    float64 `json:"yl_meas"`
+	DetOK     bool    `json:"det_ok"`
+	RawDetOK  bool    `json:"raw_det_ok"`
+	Steer     float64 `json:"steer"`
+	ISP       string  `json:"isp"`
+	ROI       int64   `json:"roi"`
+	SpeedKmph float64 `json:"speed_kmph"`
+	HMs       float64 `json:"h_ms"`
+	TauMs     float64 `json:"tau_ms"`
+	Fault     string  `json:"fault"`
+	Degraded  bool    `json:"degraded"`
+}
+
+// Column accessor tables. Encode and decode iterate the same tables,
+// so the two directions cannot drift apart; adding a field to a row
+// type means adding exactly one table entry.
+
+type intCol[T any] struct {
+	name string
+	get  func(*T) int64
+	set  func(*T, int64)
+}
+
+type floatCol[T any] struct {
+	name string
+	get  func(*T) float64
+	set  func(*T, float64)
+}
+
+type boolCol[T any] struct {
+	name string
+	get  func(*T) bool
+	set  func(*T, bool)
+}
+
+type strCol[T any] struct {
+	name string
+	dict bool // dictionary-encoded (low cardinality) vs raw
+	get  func(*T) string
+	set  func(*T, string)
+}
+
+var resultIntCols = []intCol[ResultRow]{
+	{"cam_w", func(r *ResultRow) int64 { return r.CamW }, func(r *ResultRow, v int64) { r.CamW = v }},
+	{"cam_h", func(r *ResultRow) int64 { return r.CamH }, func(r *ResultRow, v int64) { r.CamH = v }},
+	{"case", func(r *ResultRow) int64 { return r.Case }, func(r *ResultRow, v int64) { r.Case = v }},
+	{"roi", func(r *ResultRow) int64 { return r.ROI }, func(r *ResultRow, v int64) { r.ROI = v }},
+	{"fixed_classifiers", func(r *ResultRow) int64 { return r.FixedClassifiers }, func(r *ResultRow, v int64) { r.FixedClassifiers = v }},
+	{"seed", func(r *ResultRow) int64 { return r.Seed }, func(r *ResultRow, v int64) { r.Seed = v }},
+	{"crash_sector", func(r *ResultRow) int64 { return r.CrashSector }, func(r *ResultRow, v int64) { r.CrashSector = v }},
+	{"frames", func(r *ResultRow) int64 { return r.Frames }, func(r *ResultRow, v int64) { r.Frames = v }},
+	{"detect_fails", func(r *ResultRow) int64 { return r.DetectFails }, func(r *ResultRow, v int64) { r.DetectFails = v }},
+	{"reconfigurations", func(r *ResultRow) int64 { return r.Reconfigurations }, func(r *ResultRow, v int64) { r.Reconfigurations = v }},
+	{"fault_events", func(r *ResultRow) int64 { return r.FaultEvents }, func(r *ResultRow, v int64) { r.FaultEvents = v }},
+	{"held_frames", func(r *ResultRow) int64 { return r.HeldFrames }, func(r *ResultRow, v int64) { r.HeldFrames = v }},
+	{"fallback_entries", func(r *ResultRow) int64 { return r.FallbackEntries }, func(r *ResultRow, v int64) { r.FallbackEntries = v }},
+	{"fallback_cycles", func(r *ResultRow) int64 { return r.FallbackCycles }, func(r *ResultRow, v int64) { r.FallbackCycles = v }},
+	{"deadline_misses", func(r *ResultRow) int64 { return r.DeadlineMisses }, func(r *ResultRow, v int64) { r.DeadlineMisses = v }},
+}
+
+var resultFloatCols = []floatCol[ResultRow]{
+	{"speed_kmph", func(r *ResultRow) float64 { return r.SpeedKmph }, func(r *ResultRow, v float64) { r.SpeedKmph = v }},
+	{"mae", func(r *ResultRow) float64 { return r.MAE }, func(r *ResultRow, v float64) { r.MAE = v }},
+	{"crash_time_s", func(r *ResultRow) float64 { return r.CrashTimeS }, func(r *ResultRow, v float64) { r.CrashTimeS = v }},
+	{"completed_m", func(r *ResultRow) float64 { return r.CompletedS }, func(r *ResultRow, v float64) { r.CompletedS = v }},
+	{"wall_ms", func(r *ResultRow) float64 { return r.WallMS }, func(r *ResultRow, v float64) { r.WallMS = v }},
+}
+
+var resultBoolCols = []boolCol[ResultRow]{
+	{"feedforward", func(r *ResultRow) bool { return r.Feedforward }, func(r *ResultRow, v bool) { r.Feedforward = v }},
+	{"cached", func(r *ResultRow) bool { return r.Cached }, func(r *ResultRow, v bool) { r.Cached = v }},
+	{"crashed", func(r *ResultRow) bool { return r.Crashed }, func(r *ResultRow, v bool) { r.Crashed = v }},
+}
+
+var resultStrCols = []strCol[ResultRow]{
+	{"campaign", true, func(r *ResultRow) string { return r.Campaign }, func(r *ResultRow, v string) { r.Campaign = v }},
+	{"track", true, func(r *ResultRow) string { return r.Track }, func(r *ResultRow, v string) { r.Track = v }},
+	{"situation", true, func(r *ResultRow) string { return r.Situation }, func(r *ResultRow, v string) { r.Situation = v }},
+	{"isp", true, func(r *ResultRow) string { return r.ISP }, func(r *ResultRow, v string) { r.ISP = v }},
+	{"faults", true, func(r *ResultRow) string { return r.Faults }, func(r *ResultRow, v string) { r.Faults = v }},
+	{"key", false, func(r *ResultRow) string { return r.Key }, func(r *ResultRow, v string) { r.Key = v }},
+}
+
+var traceIntCols = []intCol[TraceRow]{
+	{"sector", func(r *TraceRow) int64 { return r.Sector }, func(r *TraceRow, v int64) { r.Sector = v }},
+	{"roi", func(r *TraceRow) int64 { return r.ROI }, func(r *TraceRow, v int64) { r.ROI = v }},
+}
+
+var traceFloatCols = []floatCol[TraceRow]{
+	{"time_s", func(r *TraceRow) float64 { return r.TimeS }, func(r *TraceRow, v float64) { r.TimeS = v }},
+	{"s_m", func(r *TraceRow) float64 { return r.S }, func(r *TraceRow, v float64) { r.S = v }},
+	{"yl_true", func(r *TraceRow) float64 { return r.YLTrue }, func(r *TraceRow, v float64) { r.YLTrue = v }},
+	{"yl_meas", func(r *TraceRow) float64 { return r.YLMeas }, func(r *TraceRow, v float64) { r.YLMeas = v }},
+	{"steer", func(r *TraceRow) float64 { return r.Steer }, func(r *TraceRow, v float64) { r.Steer = v }},
+	{"speed_kmph", func(r *TraceRow) float64 { return r.SpeedKmph }, func(r *TraceRow, v float64) { r.SpeedKmph = v }},
+	{"h_ms", func(r *TraceRow) float64 { return r.HMs }, func(r *TraceRow, v float64) { r.HMs = v }},
+	{"tau_ms", func(r *TraceRow) float64 { return r.TauMs }, func(r *TraceRow, v float64) { r.TauMs = v }},
+}
+
+var traceBoolCols = []boolCol[TraceRow]{
+	{"det_ok", func(r *TraceRow) bool { return r.DetOK }, func(r *TraceRow, v bool) { r.DetOK = v }},
+	{"raw_det_ok", func(r *TraceRow) bool { return r.RawDetOK }, func(r *TraceRow, v bool) { r.RawDetOK = v }},
+	{"degraded", func(r *TraceRow) bool { return r.Degraded }, func(r *TraceRow, v bool) { r.Degraded = v }},
+}
+
+var traceStrCols = []strCol[TraceRow]{
+	{"campaign", true, func(r *TraceRow) string { return r.Campaign }, func(r *TraceRow, v string) { r.Campaign = v }},
+	{"key", true, func(r *TraceRow) string { return r.Key }, func(r *TraceRow, v string) { r.Key = v }},
+	{"isp", true, func(r *TraceRow) string { return r.ISP }, func(r *TraceRow, v string) { r.ISP = v }},
+	{"fault", true, func(r *TraceRow) string { return r.Fault }, func(r *TraceRow, v string) { r.Fault = v }},
+}
+
+// encodeRows lowers rows into one segment's bytes via the accessor
+// tables.
+func encodeRows[T any](rows []T,
+	ints []intCol[T], floats []floatCol[T], bools []boolCol[T], strs []strCol[T]) []byte {
+	sb := &segmentBuilder{}
+	for _, c := range ints {
+		vals := make([]int64, len(rows))
+		for i := range rows {
+			vals[i] = c.get(&rows[i])
+		}
+		sb.addInt(c.name, vals)
+	}
+	for _, c := range floats {
+		vals := make([]float64, len(rows))
+		for i := range rows {
+			vals[i] = c.get(&rows[i])
+		}
+		sb.addFloat(c.name, vals)
+	}
+	for _, c := range bools {
+		vals := make([]bool, len(rows))
+		for i := range rows {
+			vals[i] = c.get(&rows[i])
+		}
+		sb.addBool(c.name, vals)
+	}
+	for _, c := range strs {
+		vals := make([]string, len(rows))
+		for i := range rows {
+			vals[i] = c.get(&rows[i])
+		}
+		if c.dict {
+			sb.addDict(c.name, vals)
+		} else {
+			sb.addStr(c.name, vals)
+		}
+	}
+	return sb.finish(len(rows))
+}
+
+// decodeRows is the inverse of encodeRows over a parsed segment.
+func decodeRows[T any](seg *segment,
+	ints []intCol[T], floats []floatCol[T], bools []boolCol[T], strs []strCol[T]) ([]T, error) {
+	rows := make([]T, seg.nrows)
+	for _, c := range ints {
+		vals, err := seg.ints(c.name)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rows {
+			c.set(&rows[i], vals[i])
+		}
+	}
+	for _, c := range floats {
+		vals, err := seg.floats(c.name)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rows {
+			c.set(&rows[i], vals[i])
+		}
+	}
+	for _, c := range bools {
+		vals, err := seg.bools(c.name)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rows {
+			c.set(&rows[i], vals[i])
+		}
+	}
+	for _, c := range strs {
+		var vals []string
+		var err error
+		if c.dict {
+			vals, err = seg.dict(c.name)
+		} else {
+			vals, err = seg.strs(c.name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := range rows {
+			c.set(&rows[i], vals[i])
+		}
+	}
+	return rows, nil
+}
+
+// EncodeResultSegment serializes result rows into one segment.
+func EncodeResultSegment(rows []ResultRow) []byte {
+	return encodeRows(rows, resultIntCols, resultFloatCols, resultBoolCols, resultStrCols)
+}
+
+// DecodeResultSegment parses and fully decodes one result segment. It
+// returns an error — never panics — on corrupt or truncated input.
+func DecodeResultSegment(b []byte) ([]ResultRow, error) {
+	seg, err := parseSegment(b)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(seg, resultIntCols, resultFloatCols, resultBoolCols, resultStrCols)
+}
+
+// EncodeTraceSegment serializes trace rows into one segment.
+func EncodeTraceSegment(rows []TraceRow) []byte {
+	return encodeRows(rows, traceIntCols, traceFloatCols, traceBoolCols, traceStrCols)
+}
+
+// DecodeTraceSegment parses and fully decodes one trace segment with
+// the same never-panic contract as DecodeResultSegment.
+func DecodeTraceSegment(b []byte) ([]TraceRow, error) {
+	seg, err := parseSegment(b)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(seg, traceIntCols, traceFloatCols, traceBoolCols, traceStrCols)
+}

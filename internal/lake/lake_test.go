@@ -1,0 +1,289 @@
+package lake
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// randString draws a string from a small alphabet pool plus some
+// adversarial shapes (empty, unicode, long).
+func randString(rng *rand.Rand) string {
+	pool := []string{
+		"", "S0", "S3", "S8", "drop@10..20", "noise:p=0.5",
+		"situation", "nine-sector", "Highway|Dotted|Night",
+		"日本語ラベル", string([]byte{0, 1, 255}), "x",
+	}
+	if rng.Intn(8) == 0 {
+		b := make([]byte, rng.Intn(300))
+		rng.Read(b)
+		return string(b)
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+func randFloat(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.Inf(-1)
+	case 3:
+		return math.Float64frombits(rng.Uint64()) // any bit pattern, incl. NaNs
+	default:
+		return rng.NormFloat64() * 100
+	}
+}
+
+func randInt(rng *rand.Rand) int64 {
+	switch rng.Intn(4) {
+	case 0:
+		return rng.Int63() - rng.Int63()
+	default:
+		return int64(rng.Intn(2000) - 100)
+	}
+}
+
+func randResultRow(rng *rand.Rand) ResultRow {
+	return ResultRow{
+		Campaign: randString(rng), Key: randString(rng), Track: randString(rng),
+		Situation: randString(rng), CamW: randInt(rng), CamH: randInt(rng),
+		Case: randInt(rng), ISP: randString(rng), ROI: randInt(rng),
+		SpeedKmph: randFloat(rng), FixedClassifiers: randInt(rng), Seed: randInt(rng),
+		Faults: randString(rng), Feedforward: rng.Intn(2) == 0, Cached: rng.Intn(2) == 0,
+		MAE: randFloat(rng), Crashed: rng.Intn(2) == 0, CrashSector: randInt(rng),
+		CrashTimeS: randFloat(rng), CompletedS: randFloat(rng), Frames: randInt(rng),
+		DetectFails: randInt(rng), Reconfigurations: randInt(rng), FaultEvents: randInt(rng),
+		HeldFrames: randInt(rng), FallbackEntries: randInt(rng), FallbackCycles: randInt(rng),
+		DeadlineMisses: randInt(rng), WallMS: randFloat(rng),
+	}
+}
+
+func randTraceRow(rng *rand.Rand) TraceRow {
+	return TraceRow{
+		Campaign: randString(rng), Key: randString(rng), TimeS: randFloat(rng),
+		S: randFloat(rng), Sector: randInt(rng), YLTrue: randFloat(rng),
+		YLMeas: randFloat(rng), DetOK: rng.Intn(2) == 0, RawDetOK: rng.Intn(2) == 0,
+		Steer: randFloat(rng), ISP: randString(rng), ROI: randInt(rng),
+		SpeedKmph: randFloat(rng), HMs: randFloat(rng), TauMs: randFloat(rng),
+		Fault: randString(rng), Degraded: rng.Intn(2) == 0,
+	}
+}
+
+// rowsEqual compares through bit patterns so NaN payloads round-trip
+// counts as equal (reflect.DeepEqual treats NaN != NaN).
+func rowsEqual[T any](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		av, bv := reflect.ValueOf(&a[i]).Elem(), reflect.ValueOf(&b[i]).Elem()
+		for f := 0; f < av.NumField(); f++ {
+			x, y := av.Field(f), bv.Field(f)
+			if x.Kind() == reflect.Float64 {
+				if math.Float64bits(x.Float()) != math.Float64bits(y.Float()) {
+					return false
+				}
+			} else if !reflect.DeepEqual(x.Interface(), y.Interface()) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestResultSegmentRoundTrip is the property test of the codec: random
+// result rows survive encode → decode byte-exactly, at many sizes.
+func TestResultSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		rows := make([]ResultRow, n)
+		for i := range rows {
+			rows[i] = randResultRow(rng)
+		}
+		got, err := DecodeResultSegment(EncodeResultSegment(rows))
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if !rowsEqual(rows, got) {
+			t.Fatalf("n=%d: round trip not byte-exact", n)
+		}
+	}
+}
+
+func TestTraceSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 9, 255, 4096} {
+		rows := make([]TraceRow, n)
+		for i := range rows {
+			rows[i] = randTraceRow(rng)
+		}
+		got, err := DecodeTraceSegment(EncodeTraceSegment(rows))
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if !rowsEqual(rows, got) {
+			t.Fatalf("n=%d: round trip not byte-exact", n)
+		}
+	}
+}
+
+// TestWriterScanRoundTrip drives the full directory layer: append
+// across several segment seals, flush, reopen, append more, and scan
+// back every row in order, byte-exactly.
+func TestWriterScanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	w, err := OpenWriter(dir, &WriterOptions{SegmentRows: 16, TraceSegmentRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var results []ResultRow
+	var traces []TraceRow
+	appendSome := func(w *Writer, nRes, nTr int) {
+		for i := 0; i < nRes; i++ {
+			r := randResultRow(rng)
+			results = append(results, r)
+			if err := w.AppendResult(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batch := make([]TraceRow, nTr)
+		for i := range batch {
+			batch[i] = randTraceRow(rng)
+		}
+		traces = append(traces, batch...)
+		if err := w.AppendTrace(batch...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendSome(w, 40, 150) // spans multiple seals of both tables
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: numbering must continue, not clobber sealed segments.
+	w2, err := OpenWriter(dir, &WriterOptions{SegmentRows: 16, TraceSegmentRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSome(w2, 5, 70)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotResults []ResultRow
+	stats, err := ScanResults(dir, func(r *ResultRow) error {
+		gotResults = append(gotResults, *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(results, gotResults) {
+		t.Fatalf("result scan differs: %d rows in, %d out", len(results), len(gotResults))
+	}
+	if stats.Rows != int64(len(results)) || stats.Segments < 3 || stats.Bytes == 0 {
+		t.Fatalf("scan stats %+v implausible for %d rows", stats, len(results))
+	}
+
+	var gotTraces []TraceRow
+	if _, err := ScanTraces(dir, func(r *TraceRow) error {
+		gotTraces = append(gotTraces, *r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(traces, gotTraces) {
+		t.Fatalf("trace scan differs: %d rows in, %d out", len(traces), len(gotTraces))
+	}
+}
+
+// TestScanSkipsTempAndErrorsOnCorrupt pins the crash-safety contract:
+// leftover temp files are invisible, while a corrupted sealed segment
+// is a loud error, not a panic or silent truncation.
+func TestScanSkipsTempAndErrorsOnCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendResult(ResultRow{Campaign: "c", Key: "k", MAE: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash-orphaned temp file must not be scanned.
+	tmp := filepath.Join(dir, resultsSubdir, ".tmp-seg-123")
+	if err := os.WriteFile(tmp, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := ScanResults(dir, func(*ResultRow) error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("scan with temp file: rows=%d err=%v", n, err)
+	}
+
+	// Truncating a sealed segment must fail the scan with an error.
+	segs, err := segmentFiles(filepath.Join(dir, resultsSubdir))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanResults(dir, func(*ResultRow) error { return nil }); err == nil {
+		t.Fatal("scan of truncated segment did not error")
+	}
+}
+
+// TestDecodeTruncationsNeverPanic walks every prefix and a suffix of a
+// valid segment through the decoder: all must return errors (or, for
+// the empty-row decode, succeed) without panicking.
+func TestDecodeTruncationsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := make([]ResultRow, 37)
+	for i := range rows {
+		rows[i] = randResultRow(rng)
+	}
+	b := EncodeResultSegment(rows)
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := DecodeResultSegment(b[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(b))
+		}
+	}
+	for cut := 1; cut < len(b); cut += 97 {
+		_, _ = DecodeResultSegment(b[cut:]) // must not panic; error content irrelevant
+	}
+}
+
+// TestWriterRejectsUseAfterClose pins the closed-writer contract.
+func TestWriterRejectsUseAfterClose(t *testing.T) {
+	w, err := OpenWriter(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendResult(ResultRow{}); err == nil {
+		t.Fatal("AppendResult after Close succeeded")
+	}
+	if err := w.AppendTrace(TraceRow{}); err == nil {
+		t.Fatal("AppendTrace after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+package lake
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// syntheticCampaign builds a deterministic ≥10k-job campaign shaped
+// like a real grid: situations × cases × seeds × fault specs, with
+// plausible MAE/crash/fault statistics.
+func syntheticCampaign(n int) []ResultRow {
+	rng := rand.New(rand.NewSource(42))
+	situations := []string{
+		"Highway|Single|Day", "Urban|Dotted|Night", "Rural|Double|Rain",
+		"Highway|Dotted|Dusk", "Urban|Single|Day",
+	}
+	faults := []string{"", "drop:p=0.01", "noise@100..400"}
+	rows := make([]ResultRow, n)
+	for i := range rows {
+		crashed := rng.Float64() < 0.07
+		faultSpec := faults[rng.Intn(len(faults))]
+		var events int64
+		if faultSpec != "" {
+			events = int64(rng.Intn(40))
+		}
+		var fbEntries, fbCycles int64
+		if events > 0 && rng.Intn(2) == 0 {
+			fbEntries = int64(1 + rng.Intn(3))
+			fbCycles = fbEntries * int64(5+rng.Intn(50))
+		}
+		rows[i] = ResultRow{
+			Campaign:  "c000001",
+			Key:       fmt.Sprintf("%064x", i),
+			Track:     "situation",
+			Situation: situations[rng.Intn(len(situations))],
+			CamW:      192, CamH: 96,
+			Case:            int64(1 + rng.Intn(5)),
+			Seed:            int64(1 + rng.Intn(8)),
+			Faults:          faultSpec,
+			MAE:             math.Abs(rng.NormFloat64()*0.08) + 0.01,
+			Crashed:         crashed,
+			Frames:          int64(500 + rng.Intn(1500)),
+			DetectFails:     int64(rng.Intn(30)),
+			FaultEvents:     events,
+			FallbackEntries: fbEntries, FallbackCycles: fbCycles,
+			HeldFrames:     int64(rng.Intn(5)),
+			DeadlineMisses: int64(rng.Intn(3)),
+			WallMS:         1000 + rng.Float64()*9000,
+		}
+	}
+	return rows
+}
+
+// jsonAggregate is the reference implementation the lake must match:
+// it aggregates from the per-job JSON documents (the cache-file
+// representation) with an independent accumulation pass.
+func jsonAggregate(t *testing.T, docs [][]byte, groupBy []string) []GroupStats {
+	t.Helper()
+	groups := map[string]*groupAcc{}
+	var order []string
+	for _, doc := range docs {
+		var r ResultRow
+		if err := json.Unmarshal(doc, &r); err != nil {
+			t.Fatalf("unmarshal job JSON: %v", err)
+		}
+		parts := make([]string, len(groupBy))
+		for i, axis := range groupBy {
+			parts[i] = axisValue(axis, &r)
+		}
+		key := ""
+		for i, p := range parts {
+			if i > 0 {
+				key += groupSep
+			}
+			key += p
+		}
+		g := groups[key]
+		if g == nil {
+			g = &groupAcc{stats: GroupStats{Group: map[string]string{}}}
+			for i, axis := range groupBy {
+				g.stats.Group[axis] = parts[i]
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		s := &g.stats
+		s.Jobs++
+		if r.Crashed {
+			s.Crashes++
+		}
+		g.mae = append(g.mae, r.MAE)
+		g.wall = append(g.wall, r.WallMS)
+		s.FaultEvents += r.FaultEvents
+		if r.FaultEvents > 0 {
+			s.FaultJobs++
+		}
+		s.DetectFails += r.DetectFails
+		s.FallbackEntries += r.FallbackEntries
+		s.FallbackCycles += r.FallbackCycles
+		s.HeldFrames += r.HeldFrames
+		s.DeadlineMisses += r.DeadlineMisses
+	}
+	sort.Strings(order)
+	out := make([]GroupStats, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		s := g.stats
+		s.MAE = summarize(g.mae)
+		s.Wall = summarize(g.wall)
+		s.CrashRate = float64(s.Crashes) / float64(s.Jobs)
+		s.FaultActivationRate = float64(s.FaultJobs) / float64(s.Jobs)
+		if s.FallbackEntries > 0 {
+			s.DwellCycles = float64(s.FallbackCycles) / float64(s.FallbackEntries)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestAggregateMatchesJSON10k is the acceptance test for the lake: a
+// QoC-percentiles-by-situation aggregation over a 10k-job synthetic
+// campaign, answered from a single lake scan, must match the same
+// aggregation computed from the per-job JSON results bit-for-bit.
+func TestAggregateMatchesJSON10k(t *testing.T) {
+	const n = 10_000
+	rows := syntheticCampaign(n)
+
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([][]byte, n)
+	for i := range rows {
+		if err := w.AppendResult(rows[i]); err != nil {
+			t.Fatal(err)
+		}
+		if docs[i], err = json.Marshal(rows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, groupBy := range [][]string{
+		{"situation"},
+		{"situation", "case"},
+		{"faults", "seed"},
+		nil, // global rollup
+	} {
+		fromLake, scan, err := Aggregate(dir, Query{GroupBy: groupBy})
+		if err != nil {
+			t.Fatalf("group by %v: %v", groupBy, err)
+		}
+		if scan.Rows != n {
+			t.Fatalf("group by %v scanned %d rows, want %d", groupBy, scan.Rows, n)
+		}
+		fromJSON := jsonAggregate(t, docs, groupBy)
+		// reflect.DeepEqual compares float64 fields bit-for-bit (no
+		// NaNs occur: every group has rows and MAE/Wall are finite).
+		if !reflect.DeepEqual(fromLake, fromJSON) {
+			t.Fatalf("group by %v: lake aggregation diverges from JSON aggregation\nlake: %+v\njson: %+v",
+				groupBy, fromLake, fromJSON)
+		}
+	}
+}
+
+func TestAggregateFilterAndDedup(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(campaign, key string, mae float64) {
+		if err := w.AppendResult(ResultRow{Campaign: campaign, Key: key, Situation: "s", MAE: mae}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", "k1", 0.1)
+	put("a", "k2", 0.2)
+	put("b", "k1", 0.1) // same job re-listed by a second campaign
+	put("b", "k3", 0.3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := Aggregate(dir, Query{Campaign: "b"})
+	if err != nil || len(got) != 1 || got[0].Jobs != 2 {
+		t.Fatalf("campaign filter: %+v err=%v", got, err)
+	}
+	got, _, err = Aggregate(dir, Query{Dedup: true})
+	if err != nil || len(got) != 1 || got[0].Jobs != 3 {
+		t.Fatalf("dedup: %+v err=%v", got, err)
+	}
+	if _, _, err := Aggregate(dir, Query{GroupBy: []string{"nope"}}); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+}
+
+func TestSummarizeTraces(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(campaign string, det, raw, degraded bool, fault string) {
+		if err := w.AppendTrace(TraceRow{Campaign: campaign, Key: "k",
+			DetOK: det, RawDetOK: raw, Degraded: degraded, Fault: fault}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a", true, true, false, "")
+	add("a", false, true, false, "")     // gate trip + coast
+	add("a", false, false, true, "drop") // coast + degraded + fault
+	add("b", false, true, false, "")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, scan, err := SummarizeTraces(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TraceSummary{Rows: 3, GateTrips: 1, CoastedCycles: 2, DegradedCycles: 1, FaultCycles: 1}
+	if sum != want {
+		t.Fatalf("summary = %+v, want %+v", sum, want)
+	}
+	if scan.Rows != 4 {
+		t.Fatalf("scan visited %d rows, want 4", scan.Rows)
+	}
+}
+
+// TestPercentileDefinition pins the nearest-rank order statistic.
+func TestPercentileDefinition(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	p := summarize(append([]float64(nil), vals...))
+	if p.P50 != 5 || p.P90 != 9 || p.P95 != 10 || p.P99 != 10 || p.Max != 10 || p.Mean != 5.5 {
+		t.Fatalf("percentiles = %+v", p)
+	}
+	one := summarize([]float64{3.5})
+	if one.P50 != 3.5 || one.P99 != 3.5 || one.Max != 3.5 || one.Mean != 3.5 {
+		t.Fatalf("single-value percentiles = %+v", one)
+	}
+}

@@ -1,0 +1,56 @@
+package lake
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ScanStats reports the physical work of one scan: segments and rows
+// visited and total bytes read. They back the obs instrumentation of
+// the analytics endpoints (scan seconds, rows/sec, bytes scanned).
+type ScanStats struct {
+	Segments int   `json:"segments"`
+	Rows     int64 `json:"rows"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// ScanResults streams every result row of the lake, in segment order,
+// through fn. A non-nil error from fn aborts the scan and is returned.
+// The scan is a single sequential pass over the sealed segments — cost
+// is proportional to lake bytes, never to the number of jobs as files.
+func ScanResults(dir string, fn func(*ResultRow) error) (ScanStats, error) {
+	return scanTable(filepath.Join(dir, resultsSubdir), DecodeResultSegment, fn)
+}
+
+// ScanTraces streams every per-frame trace row of the lake through fn.
+func ScanTraces(dir string, fn func(*TraceRow) error) (ScanStats, error) {
+	return scanTable(filepath.Join(dir, tracesSubdir), DecodeTraceSegment, fn)
+}
+
+func scanTable[T any](dir string, decode func([]byte) ([]T, error), fn func(*T) error) (ScanStats, error) {
+	var stats ScanStats
+	files, err := segmentFiles(dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, path := range files {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return stats, fmt.Errorf("lake: reading %s: %w", filepath.Base(path), err)
+		}
+		rows, err := decode(b)
+		if err != nil {
+			return stats, fmt.Errorf("lake: decoding %s: %w", filepath.Base(path), err)
+		}
+		stats.Segments++
+		stats.Bytes += int64(len(b))
+		for i := range rows {
+			stats.Rows++
+			if err := fn(&rows[i]); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,223 @@
+package lake
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Segment layout. A segment is one immutable shard file:
+//
+//	[magic 8B] [column payload 0] ... [column payload k-1]
+//	[footer]  [footer length u32 LE] [magic 8B]
+//
+// The footer indexes the columns: schema version, row count, and per
+// column its name, type tag, payload offset and length. Readers locate
+// the footer from the fixed-size trailer, so a segment is decodable
+// from a single contiguous byte range — mmap-friendly: column payloads
+// are raw slices of the mapped file, touched only when a query needs
+// that column. Segments are sealed by an atomic rename, so a reader
+// never observes a torn file; crash mid-write leaves only an ignored
+// temp file.
+const (
+	segMagic = "LKLAKE1\n"
+	// segSchema versions the footer/column encodings themselves.
+	segSchema = 1
+	// maxSegmentRows bounds what a parsed footer may claim, keeping a
+	// corrupt row count from driving huge allocations in the decoder.
+	maxSegmentRows = 1 << 24
+	// maxSegmentCols likewise bounds the declared column count.
+	maxSegmentCols = 256
+)
+
+// builtCol is one encoded column awaiting layout into a segment.
+type builtCol struct {
+	name    string
+	typ     colType
+	payload []byte
+}
+
+// segmentBuilder assembles column payloads into the segment byte layout.
+type segmentBuilder struct {
+	cols []builtCol
+}
+
+func (sb *segmentBuilder) addInt(name string, vals []int64) {
+	sb.cols = append(sb.cols, builtCol{name, colInt, encodeIntCol(vals)})
+}
+
+func (sb *segmentBuilder) addFloat(name string, vals []float64) {
+	sb.cols = append(sb.cols, builtCol{name, colFloat, encodeFloatCol(vals)})
+}
+
+func (sb *segmentBuilder) addBool(name string, vals []bool) {
+	sb.cols = append(sb.cols, builtCol{name, colBool, encodeBoolCol(vals)})
+}
+
+func (sb *segmentBuilder) addDict(name string, vals []string) {
+	sb.cols = append(sb.cols, builtCol{name, colDict, encodeDictCol(vals)})
+}
+
+func (sb *segmentBuilder) addStr(name string, vals []string) {
+	sb.cols = append(sb.cols, builtCol{name, colStr, encodeStrCol(vals)})
+}
+
+// finish lays the columns out and returns the complete segment bytes.
+func (sb *segmentBuilder) finish(nrows int) []byte {
+	out := []byte(segMagic)
+	offsets := make([]int, len(sb.cols))
+	for i, c := range sb.cols {
+		offsets[i] = len(out)
+		out = append(out, c.payload...)
+	}
+	footerStart := len(out)
+	out = binary.AppendUvarint(out, segSchema)
+	out = binary.AppendUvarint(out, uint64(nrows))
+	out = binary.AppendUvarint(out, uint64(len(sb.cols)))
+	for i, c := range sb.cols {
+		out = binary.AppendUvarint(out, uint64(len(c.name)))
+		out = append(out, c.name...)
+		out = append(out, byte(c.typ))
+		out = binary.AppendUvarint(out, uint64(offsets[i]))
+		out = binary.AppendUvarint(out, uint64(len(c.payload)))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(out)-footerStart))
+	return append(out, segMagic...)
+}
+
+// segCol is one column located inside a parsed segment.
+type segCol struct {
+	typ     colType
+	payload []byte
+}
+
+// segment is a parsed (but not yet column-decoded) shard.
+type segment struct {
+	nrows int
+	cols  map[string]segCol
+}
+
+// parseSegment validates the framing and footer of raw segment bytes.
+// It never panics on corrupt input: every length and offset is bounds-
+// checked before use, and column payloads are only sliced, not decoded.
+func parseSegment(b []byte) (*segment, error) {
+	const trailer = 4 + len(segMagic)
+	if len(b) < len(segMagic)+trailer+1 {
+		return nil, fmt.Errorf("lake: segment of %d bytes is shorter than the framing", len(b))
+	}
+	if string(b[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("lake: bad segment magic %q", b[:len(segMagic)])
+	}
+	if string(b[len(b)-len(segMagic):]) != segMagic {
+		return nil, fmt.Errorf("lake: bad segment trailer magic")
+	}
+	footerLen := int(binary.LittleEndian.Uint32(b[len(b)-trailer : len(b)-len(segMagic)]))
+	footerStart := len(b) - trailer - footerLen
+	if footerLen <= 0 || footerStart < len(segMagic) {
+		return nil, fmt.Errorf("lake: footer length %d outside segment of %d bytes", footerLen, len(b))
+	}
+	r := &byteReader{b: b[footerStart : len(b)-trailer]}
+	schema := r.uvarint()
+	nrows := r.uvarint()
+	ncols := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if schema != segSchema {
+		return nil, fmt.Errorf("lake: segment schema %d, this reader speaks %d", schema, segSchema)
+	}
+	if nrows > maxSegmentRows {
+		return nil, fmt.Errorf("lake: segment claims %d rows (max %d)", nrows, maxSegmentRows)
+	}
+	if ncols > maxSegmentCols {
+		return nil, fmt.Errorf("lake: segment claims %d columns (max %d)", ncols, maxSegmentCols)
+	}
+	seg := &segment{nrows: int(nrows), cols: make(map[string]segCol, ncols)}
+	for i := uint64(0); i < ncols; i++ {
+		nameLen := r.uvarint()
+		if r.err == nil && nameLen > uint64(r.remaining()) {
+			r.fail("lake: column %d name claims %d bytes", i, nameLen)
+		}
+		name := string(r.bytes(int(nameLen)))
+		tb := r.bytes(1)
+		off := r.uvarint()
+		plen := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		typ := colType(tb[0])
+		switch typ {
+		case colInt, colFloat, colBool, colDict, colStr:
+		default:
+			return nil, fmt.Errorf("lake: column %q has unknown type %d", name, tb[0])
+		}
+		if off < uint64(len(segMagic)) || off+plen < off || off+plen > uint64(footerStart) {
+			return nil, fmt.Errorf("lake: column %q payload [%d,%d) outside data area [%d,%d)",
+				name, off, off+plen, len(segMagic), footerStart)
+		}
+		if _, dup := seg.cols[name]; dup {
+			return nil, fmt.Errorf("lake: duplicate column %q", name)
+		}
+		seg.cols[name] = segCol{typ: typ, payload: b[off : off+plen]}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("lake: footer has %d trailing bytes", r.remaining())
+	}
+	return seg, nil
+}
+
+// Typed column extraction: the named column must exist with the
+// expected type; its payload is decoded on demand.
+
+func (s *segment) col(name string, typ colType) ([]byte, error) {
+	c, ok := s.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("lake: segment has no column %q", name)
+	}
+	if c.typ != typ {
+		return nil, fmt.Errorf("lake: column %q is %v, expected %v", name, c.typ, typ)
+	}
+	return c.payload, nil
+}
+
+func (s *segment) ints(name string) ([]int64, error) {
+	p, err := s.col(name, colInt)
+	if err != nil {
+		return nil, err
+	}
+	return decodeIntCol(p, s.nrows)
+}
+
+func (s *segment) floats(name string) ([]float64, error) {
+	p, err := s.col(name, colFloat)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloatCol(p, s.nrows)
+}
+
+func (s *segment) bools(name string) ([]bool, error) {
+	p, err := s.col(name, colBool)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBoolCol(p, s.nrows)
+}
+
+func (s *segment) dict(name string) ([]string, error) {
+	p, err := s.col(name, colDict)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDictCol(p, s.nrows)
+}
+
+func (s *segment) strs(name string) ([]string, error) {
+	p, err := s.col(name, colStr)
+	if err != nil {
+		return nil, err
+	}
+	return decodeStrCol(p, s.nrows)
+}

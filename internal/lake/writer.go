@@ -1,0 +1,233 @@
+package lake
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Directory layout: <dir>/results/seg-<n>.lks and <dir>/traces/
+// seg-<n>.lks, numbered monotonically. Only sealed seg-*.lks files are
+// ever read; in-flight writes use dot-prefixed temp names that readers
+// skip and a crash leaves behind harmlessly.
+const (
+	resultsSubdir = "results"
+	tracesSubdir  = "traces"
+	segPrefix     = "seg-"
+	segSuffix     = ".lks"
+)
+
+// WriterOptions tune the writer; the zero value picks the defaults.
+type WriterOptions struct {
+	// SegmentRows is the result-row count per sealed segment
+	// (default 4096). Smaller segments seal more often (shorter
+	// crash-loss window before a Flush); larger ones compress better.
+	SegmentRows int
+	// TraceSegmentRows is the per-frame trace-row count per sealed
+	// segment (default 65536; traces are ~100× denser than results).
+	TraceSegmentRows int
+}
+
+// Writer appends rows to a lake directory. It buffers rows in memory
+// and seals them into immutable segments at the configured sizes (or
+// on Flush/Close) via an atomic temp-file rename — a reader never
+// observes a torn segment, and a crash loses only the unsealed buffer,
+// which the content-addressed campaign cache can always regenerate.
+// Writer is safe for concurrent use.
+type Writer struct {
+	dir  string
+	opts WriterOptions
+
+	mu        sync.Mutex
+	results   []ResultRow
+	traces    []TraceRow
+	resultSeq int
+	traceSeq  int
+	closed    bool
+}
+
+// OpenWriter opens (creating if needed) a lake rooted at dir and
+// positions the segment numbering after any existing segments, so
+// appending to a lake written by an earlier process is safe.
+func OpenWriter(dir string, opts *WriterOptions) (*Writer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("lake: writer dir must not be empty")
+	}
+	w := &Writer{dir: dir}
+	if opts != nil {
+		w.opts = *opts
+	}
+	if w.opts.SegmentRows <= 0 {
+		w.opts.SegmentRows = 4096
+	}
+	if w.opts.TraceSegmentRows <= 0 {
+		w.opts.TraceSegmentRows = 65536
+	}
+	for _, sub := range []string{resultsSubdir, tracesSubdir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("lake: opening writer: %w", err)
+		}
+	}
+	var err error
+	if w.resultSeq, err = maxSegmentSeq(filepath.Join(dir, resultsSubdir)); err != nil {
+		return nil, err
+	}
+	if w.traceSeq, err = maxSegmentSeq(filepath.Join(dir, tracesSubdir)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Dir returns the lake root.
+func (w *Writer) Dir() string { return w.dir }
+
+// maxSegmentSeq finds the highest sealed segment number in a table dir.
+func maxSegmentSeq(dir string) (int, error) {
+	names, err := segmentFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	maxSeq := 0
+	for _, name := range names {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(name), segPrefix), segSuffix)
+		if n, err := strconv.Atoi(base); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	return maxSeq, nil
+}
+
+// segmentFiles lists the sealed segments of one table directory in
+// numeric (= lexicographic, zero-padded) order.
+func segmentFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lake: listing segments: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// AppendResult buffers one result row, sealing a segment when the
+// buffer reaches SegmentRows.
+func (w *Writer) AppendResult(row ResultRow) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("lake: writer is closed")
+	}
+	w.results = append(w.results, row)
+	if len(w.results) >= w.opts.SegmentRows {
+		return w.sealResultsLocked()
+	}
+	return nil
+}
+
+// AppendTrace buffers per-frame trace rows (typically one job's whole
+// trace), sealing segments as the buffer fills.
+func (w *Writer) AppendTrace(rows ...TraceRow) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("lake: writer is closed")
+	}
+	w.traces = append(w.traces, rows...)
+	for len(w.traces) >= w.opts.TraceSegmentRows {
+		if err := w.sealTracesLocked(w.opts.TraceSegmentRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush seals any buffered rows into (possibly short) segments, making
+// everything appended so far visible to scans.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.sealResultsLocked(); err != nil {
+		return err
+	}
+	return w.sealTracesLocked(len(w.traces))
+}
+
+// Close flushes and marks the writer unusable.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	if err := w.sealResultsLocked(); err != nil {
+		return err
+	}
+	if err := w.sealTracesLocked(len(w.traces)); err != nil {
+		return err
+	}
+	w.closed = true
+	return nil
+}
+
+func (w *Writer) sealResultsLocked() error {
+	if len(w.results) == 0 {
+		return nil
+	}
+	w.resultSeq++
+	if err := sealSegment(filepath.Join(w.dir, resultsSubdir), w.resultSeq,
+		EncodeResultSegment(w.results)); err != nil {
+		w.resultSeq--
+		return err
+	}
+	w.results = w.results[:0]
+	return nil
+}
+
+func (w *Writer) sealTracesLocked(n int) error {
+	if n == 0 {
+		return nil
+	}
+	w.traceSeq++
+	if err := sealSegment(filepath.Join(w.dir, tracesSubdir), w.traceSeq,
+		EncodeTraceSegment(w.traces[:n])); err != nil {
+		w.traceSeq--
+		return err
+	}
+	w.traces = append(w.traces[:0], w.traces[n:]...)
+	return nil
+}
+
+// sealSegment writes segment bytes to a temp file and renames it into
+// place: the segment is either fully visible or absent, never torn.
+func sealSegment(dir string, seq int, b []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-seg-*")
+	if err != nil {
+		return fmt.Errorf("lake: sealing segment: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix)))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lake: sealing segment %d: %w", seq, werr)
+	}
+	return nil
+}

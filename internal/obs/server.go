@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -15,10 +16,28 @@ type Server struct {
 	srv *http.Server
 }
 
+// ServerOption customizes StartServer.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	pprof bool
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// the profiler exposes heap and goroutine internals, so enable it only
+// on operator-only listeners.
+func WithPprof() ServerOption {
+	return func(o *serverOptions) { o.pprof = true }
+}
+
 // StartServer listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves
 // the registry until Close. It returns once the listener is bound, so
 // Addr is immediately scrapeable.
-func StartServer(addr string, r *Registry) (*Server, error) {
+func StartServer(addr string, r *Registry, opts ...ServerOption) (*Server, error) {
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -26,6 +45,13 @@ func StartServer(addr string, r *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	if o.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{ln: ln, srv: srv}
 	go func() { _ = srv.Serve(ln) }()
