@@ -16,6 +16,14 @@
 // result lake and the /v1/analytics endpoints serve fleet aggregations
 // over it (see internal/lake and cmd/lkas-lake). -pprof mounts the Go
 // profiler under /debug/pprof/ (off by default).
+//
+// With -fabric-workers, campaigns are not simulated in-process:
+// submitted grids shard across the listed lkas-worker nodes, with
+// cache misses resolved through the federated cache tier first (see
+// internal/fabric):
+//
+//	lkas-serve -addr :8080 -cache-dir /var/lib/lkas-cache \
+//	    -fabric-workers http://node1:8091,http://node2:8091
 package main
 
 import (
@@ -26,10 +34,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hsas/internal/campaign"
+	"hsas/internal/fabric"
 	"hsas/internal/lake"
 	"hsas/internal/obs"
 )
@@ -46,6 +56,12 @@ type options struct {
 	kernels      int
 	drainTimeout time.Duration
 	logLevel     string
+
+	// Distributed-campaign (fabric coordinator) mode.
+	fabricWorkers  string
+	fabricBatch    int
+	fabricLeaseTTL time.Duration
+	fabricFallback bool
 }
 
 // parseFlags parses the lkas-serve command line; errOut receives usage
@@ -63,6 +79,10 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.IntVar(&o.kernels, "kernel-workers", 0, "per-run image/GEMM kernel goroutines (0 = CPUs/workers)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 60*time.Second, "how long SIGTERM waits for the running campaign before canceling it")
 	fs.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn or error")
+	fs.StringVar(&o.fabricWorkers, "fabric-workers", "", "comma-separated lkas-worker base URLs; when set, campaigns shard across them instead of simulating in-process")
+	fs.IntVar(&o.fabricBatch, "fabric-batch", 64, "max jobs per lease request in fabric mode")
+	fs.DurationVar(&o.fabricLeaseTTL, "fabric-lease-ttl", 2*time.Minute, "abandon a lease whose worker streams nothing for this long (jobs re-queue)")
+	fs.BoolVar(&o.fabricFallback, "fabric-local-fallback", true, "simulate locally if every fabric worker is unreachable")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -81,7 +101,27 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	if _, err := obs.ParseLevel(o.logLevel); err != nil {
 		return nil, fmt.Errorf("bad -log-level %q: %v", o.logLevel, err)
 	}
+	if o.fabricWorkers != "" {
+		if o.fabricBatch < 1 {
+			return nil, fmt.Errorf("-fabric-batch %d must be at least 1", o.fabricBatch)
+		}
+		if o.fabricLeaseTTL <= 0 {
+			return nil, fmt.Errorf("-fabric-lease-ttl %v must be positive", o.fabricLeaseTTL)
+		}
+	}
 	return o, nil
+}
+
+// fabricWorkerURLs splits the -fabric-workers list, dropping empty
+// entries (a trailing comma is not an error).
+func fabricWorkerURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }
 
 // serverConfig builds the campaign server configuration (and cache) for
@@ -114,6 +154,35 @@ func serverConfig(o *options, logOut io.Writer) (campaign.ServerConfig, error) {
 			return campaign.ServerConfig{}, err
 		}
 		cfg.Lake = lw
+	}
+	if o.fabricWorkers != "" {
+		urls := fabricWorkerURLs(o.fabricWorkers)
+		// Validate the fleet up front so a typo'd URL fails startup,
+		// not the first campaign.
+		if _, err := fabric.NewCoordinator(fabric.CoordinatorConfig{Workers: urls, Obs: cfg.Obs}); err != nil {
+			return campaign.ServerConfig{}, err
+		}
+		srvCfg := cfg // capture by value: Lake/Obs/Workers are stable
+		cfg.NewRunner = func(id string, cache campaign.Cache, hooks campaign.Hooks) campaign.Runner {
+			co, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+				Workers:            urls,
+				Cache:              cache,
+				Lake:               srvCfg.Lake,
+				LakeCampaign:       id,
+				Obs:                srvCfg.Obs,
+				Hooks:              hooks,
+				BatchSize:          o.fabricBatch,
+				LeaseTTL:           o.fabricLeaseTTL,
+				LocalFallback:      o.fabricFallback,
+				LocalWorkers:       srvCfg.Workers,
+				LocalKernelWorkers: srvCfg.KernelWorkers,
+			})
+			if err != nil {
+				// Unreachable: the same config validated at startup.
+				panic(fmt.Sprintf("lkas-serve: fabric coordinator: %v", err))
+			}
+			return co
+		}
 	}
 	return cfg, nil
 }

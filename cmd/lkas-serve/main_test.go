@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hsas/internal/campaign"
 )
 
 func TestParseFlagsRejectsBadFlags(t *testing.T) {
@@ -83,5 +85,43 @@ func TestServerConfigWiresCacheAndObs(t *testing.T) {
 	}
 	if cfg2.Cache != nil {
 		t.Fatalf("expected nil cache (server default) without -cache-dir, got %T", cfg2.Cache)
+	}
+}
+
+func TestServerConfigFabricMode(t *testing.T) {
+	// A valid fleet installs the coordinator-building NewRunner seam.
+	o, err := parseFlags([]string{"-fabric-workers", "http://w1:8091, http://w2:8091,"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fabricWorkerURLs(o.fabricWorkers); len(got) != 2 {
+		t.Fatalf("fabricWorkerURLs = %v, want 2 entries", got)
+	}
+	cfg, err := serverConfig(o, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NewRunner == nil {
+		t.Fatal("-fabric-workers set but NewRunner seam is nil")
+	}
+	if r := cfg.NewRunner("c1", nil, campaign.Hooks{}); r == nil {
+		t.Fatal("NewRunner returned nil")
+	}
+
+	// A malformed fleet URL fails startup, not the first campaign.
+	o2, err := parseFlags([]string{"-fabric-workers", "not a url"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serverConfig(o2, io.Discard); err == nil {
+		t.Fatal("malformed -fabric-workers accepted")
+	}
+
+	// Fabric tuning flags are validated only when the mode is on.
+	if _, err := parseFlags([]string{"-fabric-workers", "http://w1:1", "-fabric-batch", "0"}, io.Discard); err == nil {
+		t.Fatal("-fabric-batch 0 accepted in fabric mode")
+	}
+	if _, err := parseFlags([]string{"-fabric-batch", "0"}, io.Discard); err != nil {
+		t.Fatalf("-fabric-batch ignored outside fabric mode, got %v", err)
 	}
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsRejectsBadFlags(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-bogus"}, "bogus"},
+		{"positional args", []string{"work"}, "unexpected arguments"},
+		{"empty addr", []string{"-addr", ""}, "-addr"},
+		{"tiny lease cap", []string{"-max-lease-bytes", "10"}, "-max-lease-bytes"},
+		{"bad log level", []string{"-log-level", "verbose"}, "bad -log-level"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("parseFlags(%v) accepted the flags", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8091" || o.cacheDir != "" || o.maxLeaseBytes != 64<<20 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestWorkerConfigBuildsCacheAndLake(t *testing.T) {
+	dir := t.TempDir()
+	o, err := parseFlags([]string{
+		"-cache-dir", filepath.Join(dir, "cache"),
+		"-lake-dir", filepath.Join(dir, "lake"),
+		"-workers", "2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := workerConfig(o, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cache == nil {
+		t.Fatal("cache-dir set but config has no cache")
+	}
+	if cfg.Lake == nil {
+		t.Fatal("lake-dir set but config has no lake writer")
+	}
+	defer cfg.Lake.Close()
+	if cfg.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", cfg.Workers)
+	}
+	if cfg.Obs == nil {
+		t.Fatal("config has no observer")
+	}
+}

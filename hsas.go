@@ -43,6 +43,7 @@ import (
 	"hsas/internal/cnn"
 	"hsas/internal/control"
 	"hsas/internal/core"
+	"hsas/internal/fabric"
 	"hsas/internal/fault"
 	"hsas/internal/isp"
 	"hsas/internal/knobs"
@@ -287,6 +288,34 @@ var (
 	NewCampaignMemCache = campaign.NewMemCache
 	NewCampaignDirCache = campaign.NewDirCache
 	NewCampaignServer   = campaign.NewServer
+)
+
+// Distributed campaign fabric: a coordinator shards campaign jobs
+// across lkas-worker nodes over HTTP, resolving every job through a
+// federated read-through cache tier (local → remote peer → simulate)
+// first. Bit-determinism makes any node's result canonical, so results
+// merge exactly and a fleet-wide resubmit simulates nothing.
+type (
+	// FabricCoordinator drives a campaign across a worker fleet; it
+	// implements the same Run contract as CampaignEngine.
+	FabricCoordinator = fabric.Coordinator
+	// FabricCoordinatorConfig parameterizes it (fleet URLs, batch and
+	// lease sizing, retry/steal policy, local fallback).
+	FabricCoordinatorConfig = fabric.CoordinatorConfig
+	// FabricStats splits a distributed run's totals by resolving tier.
+	FabricStats = fabric.FabricStats
+	// FabricWorker is one lease-executing node (cmd/lkas-worker).
+	FabricWorker = fabric.Worker
+	// FabricWorkerConfig parameterizes it.
+	FabricWorkerConfig = fabric.WorkerConfig
+)
+
+// NewFabricCoordinator validates a fleet config and builds the
+// coordinator; NewFabricWorker builds a worker node for mounting its
+// Handler on an HTTP server.
+var (
+	NewFabricCoordinator = fabric.NewCoordinator
+	NewFabricWorker      = fabric.NewWorker
 )
 
 // Columnar result lake: an append-only store of campaign results and

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"hsas/internal/durable"
+	"hsas/internal/trace"
 )
 
 // Cache stores job results (and optional trace artifacts) under their
@@ -90,9 +94,12 @@ func (c *MemCache) Len() int {
 // DirCache is the durable content-addressed cache: one JSON file per
 // result at <dir>/<key[:2]>/<key>.json (the two-character fan-out keeps
 // directory listings manageable on large campaigns), traces alongside
-// as <key>.trace.csv. Writes go through a temp file plus rename, so a
-// crash mid-write leaves either the old entry or nothing — never a
-// torn file that would poison a resume.
+// as <key>.trace.csv. Writes go through a fsync'd temp file plus rename
+// plus directory fsync (internal/durable), so a crash mid-write — even
+// a power loss — leaves either the old entry or nothing, never a torn
+// file that would poison a resume. Reads still defend in depth: entries
+// that fail to parse (e.g. written by an older, non-fsyncing version)
+// are reported as misses and re-simulated.
 type DirCache struct {
 	dir string
 }
@@ -145,7 +152,10 @@ func (c *DirCache) Put(key string, res *JobResult) error {
 	return c.writeAtomic(c.path(key, ".json"), b)
 }
 
-// GetTrace implements Cache.
+// GetTrace implements Cache. Like Get, a torn or truncated artifact is
+// a miss, never garbage: the bytes must parse as a trace CSV (header
+// plus full rows) before they are served, so a crash-corrupted file can
+// not flow verbatim through the HTTP trace endpoint.
 func (c *DirCache) GetTrace(key string) ([]byte, bool, error) {
 	b, err := os.ReadFile(c.path(key, ".trace.csv"))
 	if errors.Is(err, fs.ErrNotExist) {
@@ -153,6 +163,9 @@ func (c *DirCache) GetTrace(key string) ([]byte, bool, error) {
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("campaign: reading cache trace %s: %w", key, err)
+	}
+	if _, err := trace.ReadCSV(bytes.NewReader(b)); err != nil {
+		return nil, false, nil // torn/empty/truncated artifact: treat as miss
 	}
 	return b, true, nil
 }
@@ -163,24 +176,8 @@ func (c *DirCache) PutTrace(key string, csv []byte) error {
 }
 
 func (c *DirCache) writeAtomic(path string, b []byte) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := durable.WriteFileAtomic(path, b); err != nil {
 		return fmt.Errorf("campaign: cache write: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("campaign: cache write: %w", err)
-	}
-	_, werr := tmp.Write(b)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), path)
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: cache write %s: %w", filepath.Base(path), werr)
 	}
 	return nil
 }

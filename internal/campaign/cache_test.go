@@ -1,13 +1,35 @@
 package campaign
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"hsas/internal/knobs"
+	"hsas/internal/sim"
+	"hsas/internal/trace"
 )
 
 func testResult() *JobResult {
 	return &JobResult{MAE: 0.123, Frames: 209, SectorMAE: []float64{0.1, 0.2}, SectorN: []int{10, 20}}
+}
+
+// testTraceCSV builds a small but schema-valid trace artifact (DirCache
+// validates trace bytes on read, so fixtures must parse).
+func testTraceCSV(t *testing.T, n int) []byte {
+	t.Helper()
+	var rec trace.Recorder
+	for i := 0; i < n; i++ {
+		rec.Add(sim.TracePoint{TimeS: float64(i) * 0.02, S: float64(i) * 0.5, Sector: 1,
+			YLTrue: 0.01, YLMeas: 0.012, DetOK: true, RawDetOK: true, Steer: -0.02,
+			Setting: knobs.Setting{ISP: "S0", ROI: 2, SpeedKmph: 50}, HMs: 20, TauMs: 10})
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }
 
 // caches drives both implementations through the same contract checks.
@@ -41,11 +63,12 @@ func TestCacheRoundTrip(t *testing.T) {
 			if _, ok, _ := c.GetTrace(key); ok {
 				t.Fatal("trace present before PutTrace")
 			}
-			if err := c.PutTrace(key, []byte("t,err\n0,0.1\n")); err != nil {
+			want2 := testTraceCSV(t, 3)
+			if err := c.PutTrace(key, want2); err != nil {
 				t.Fatal(err)
 			}
 			csv, ok, err := c.GetTrace(key)
-			if err != nil || !ok || string(csv) != "t,err\n0,0.1\n" {
+			if err != nil || !ok || !bytes.Equal(csv, want2) {
 				t.Fatalf("trace round trip = %q ok=%v err=%v", csv, ok, err)
 			}
 		})
@@ -107,5 +130,67 @@ func TestDirCacheLayoutAndCorruption(t *testing.T) {
 func TestNewDirCacheRejectsEmptyDir(t *testing.T) {
 	if _, err := NewDirCache(""); err == nil {
 		t.Fatal("NewDirCache(\"\") succeeded")
+	}
+}
+
+// TestDirCacheTornWritesAreMisses simulates the power-loss outcome the
+// fsync'd writes prevent going forward but old caches may still hold: a
+// durable rename pointing at zero-length or truncated data. Every such
+// entry must read back as a miss — never an error, never garbage served
+// through the trace endpoint.
+func TestDirCacheTornWritesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "feedface00112233"
+	if err := c.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	full := testTraceCSV(t, 5)
+	if err := c.PutTrace(key, full); err != nil {
+		t.Fatal(err)
+	}
+
+	entry := filepath.Join(dir, key[:2], key+".json")
+	traceFile := filepath.Join(dir, key[:2], key+".trace.csv")
+
+	// Zero-length result entry (rename persisted, data did not).
+	if err := os.Truncate(entry, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); ok || err != nil {
+		t.Fatalf("zero-length entry Get = ok=%v err=%v, want miss", ok, err)
+	}
+
+	for name, tear := range map[string]func() error{
+		"zero-length": func() error { return os.Truncate(traceFile, 0) },
+		"mid-row":     func() error { return os.Truncate(traceFile, int64(len(full)-7)) },
+		"header-only": func() error { return os.Truncate(traceFile, int64(bytes.IndexByte(full, '\n')/2)) },
+	} {
+		if err := os.WriteFile(traceFile, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := tear(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := c.GetTrace(key); ok || err != nil {
+			t.Fatalf("%s trace GetTrace = ok=%v err=%v, want miss", name, ok, err)
+		}
+	}
+
+	// Re-putting over the torn entries recovers both.
+	if err := c.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutTrace(key, full); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); !ok || err != nil {
+		t.Fatalf("Get after re-put = ok=%v err=%v", ok, err)
+	}
+	if csv, ok, err := c.GetTrace(key); !ok || err != nil || !bytes.Equal(csv, full) {
+		t.Fatalf("GetTrace after re-put = ok=%v err=%v", ok, err)
 	}
 }

@@ -95,6 +95,11 @@ type engineMetrics struct {
 	misses   *obs.Counter
 	inflight *obs.Gauge
 	jobH     *obs.Histogram
+	// Lake appends are best-effort (the cache stays the source of
+	// truth), but silent analytics loss is an operator problem: these
+	// count failed appends/flushes so alerts can fire on them.
+	lakeAppendF *obs.Counter
+	lakeFlushF  *obs.Counter
 }
 
 func newEngineMetrics(o *obs.Observer) engineMetrics {
@@ -106,6 +111,8 @@ func newEngineMetrics(o *obs.Observer) engineMetrics {
 		inflight: reg.Gauge("hsas_campaign_jobs_inflight", "closed-loop simulations currently running"),
 		jobH: reg.Histogram("hsas_campaign_job_seconds", "wall time per simulated campaign job",
 			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}),
+		lakeAppendF: reg.Counter("hsas_lake_append_failures_total", "result-lake appends that failed (analytics rows lost; the cache is unaffected)"),
+		lakeFlushF:  reg.Counter("hsas_lake_flush_failures_total", "result-lake flushes that failed (buffered analytics rows lost)"),
 	}
 }
 
@@ -186,17 +193,20 @@ func (e *Engine) Run(ctx context.Context, jobs []JobSpec) ([]*JobResult, RunStat
 		lakeCampaign = "adhoc"
 	}
 	// appendLake projects one completed job onto the result lake. The
-	// lake is best-effort: a failed append is logged and the job still
-	// succeeds (its result lives in the cache regardless).
+	// lake is best-effort: a failed append is logged and counted (so
+	// operators can alert on analytics loss) and the job still succeeds
+	// (its result lives in the cache regardless).
 	appendLake := func(u *uniqueJob, res *JobResult, cached bool, points []sim.TracePoint) {
 		if e.Lake == nil {
 			return
 		}
-		if err := e.Lake.AppendResult(lakeResultRow(lakeCampaign, &u.spec, u.key, res, cached)); err != nil {
+		if err := e.Lake.AppendResult(LakeResultRow(lakeCampaign, &u.spec, u.key, res, cached)); err != nil {
+			met.lakeAppendF.Inc()
 			o.Logger().Warn("lake append failed", "key", u.key[:12], "err", err)
 		}
 		if len(points) > 0 {
-			if err := e.Lake.AppendTrace(lakeTraceRows(lakeCampaign, u.key, points)...); err != nil {
+			if err := e.Lake.AppendTrace(LakeTraceRows(lakeCampaign, u.key, points)...); err != nil {
+				met.lakeAppendF.Inc()
 				o.Logger().Warn("lake trace append failed", "key", u.key[:12], "err", err)
 			}
 		}
@@ -208,6 +218,7 @@ func (e *Engine) Run(ctx context.Context, jobs []JobSpec) ([]*JobResult, RunStat
 			return
 		}
 		if err := e.Lake.Flush(); err != nil {
+			met.lakeFlushF.Inc()
 			o.Logger().Warn("lake flush failed", "err", err)
 		}
 	}()

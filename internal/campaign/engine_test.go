@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hsas/internal/camera"
+	"hsas/internal/lake"
 	"hsas/internal/obs"
 )
 
@@ -91,6 +92,33 @@ func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
 	}
 	t.Fatalf("metric %s not found", name)
 	return 0
+}
+
+// TestEngineCountsLakeFailures pins the silent-analytics-loss fix: a
+// failing lake is still best-effort (the run succeeds; the cache is the
+// source of truth) but every lost append/flush is counted so operators
+// can alert on it.
+func TestEngineCountsLakeFailures(t *testing.T) {
+	lw, err := lake.OpenWriter(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Close(); err != nil { // closed writer rejects every append/flush
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	eng := &Engine{Workers: 1, Cache: NewMemCache(), Lake: lw,
+		Obs: &obs.Observer{Metrics: reg}}
+	results, _, err := eng.Run(context.Background(), []JobSpec{tinyJob(1)})
+	if err != nil || results[0] == nil {
+		t.Fatalf("lake failures must not fail the run: %v", err)
+	}
+	if got := counterValue(t, reg, "hsas_lake_append_failures_total"); got != 1 {
+		t.Errorf("hsas_lake_append_failures_total = %v, want 1", got)
+	}
+	if got := counterValue(t, reg, "hsas_lake_flush_failures_total"); got != 1 {
+		t.Errorf("hsas_lake_flush_failures_total = %v, want 1", got)
+	}
 }
 
 func TestEngineInterruptResumesFromCheckpoint(t *testing.T) {

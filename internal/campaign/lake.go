@@ -13,9 +13,11 @@ import (
 // answers point lookups by key, the lake answers fleet aggregations
 // by scan, and rows carry the key so the two cross-reference.
 
-// lakeResultRow flattens a normalized spec and its result onto the
-// lake's result schema.
-func lakeResultRow(campaign string, spec *JobSpec, key string, res *JobResult, cached bool) lake.ResultRow {
+// LakeResultRow flattens a normalized spec and its result onto the
+// lake's result schema. Exported for internal/fabric, whose coordinator
+// completes jobs outside Engine.Run (remote leases and federated cache
+// hits) but projects them onto the same lake.
+func LakeResultRow(campaign string, spec *JobSpec, key string, res *JobResult, cached bool) lake.ResultRow {
 	row := lake.ResultRow{
 		Campaign:         campaign,
 		Key:              key,
@@ -54,9 +56,9 @@ func lakeResultRow(campaign string, spec *JobSpec, key string, res *JobResult, c
 	return row
 }
 
-// lakeTraceRows flattens one job's per-cycle trace points onto the
+// LakeTraceRows flattens one job's per-cycle trace points onto the
 // lake's trace schema, keyed back to the job by (campaign, key).
-func lakeTraceRows(campaign, key string, points []sim.TracePoint) []lake.TraceRow {
+func LakeTraceRows(campaign, key string, points []sim.TracePoint) []lake.TraceRow {
 	rows := make([]lake.TraceRow, len(points))
 	for i, p := range points {
 		rows[i] = lake.TraceRow{

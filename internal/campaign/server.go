@@ -15,6 +15,13 @@ import (
 	"hsas/internal/obs"
 )
 
+// Runner executes one campaign's jobs and returns results in
+// submission order. Engine is the local implementation; the fabric
+// coordinator (internal/fabric) is the distributed one.
+type Runner interface {
+	Run(ctx context.Context, jobs []JobSpec) ([]*JobResult, RunStats, error)
+}
+
 // ServerConfig parameterizes the campaign HTTP service.
 type ServerConfig struct {
 	// Workers and KernelWorkers configure the engine each campaign runs
@@ -22,6 +29,12 @@ type ServerConfig struct {
 	// bounds the server's total concurrent simulations.
 	Workers       int
 	KernelWorkers int
+	// NewRunner, when set, builds the executor for each campaign instead
+	// of the built-in local Engine — the seam the fabric coordinator
+	// mode plugs into. It receives the campaign id, the server's shared
+	// cache, and the progress hooks the status API depends on; the
+	// returned Runner must invoke them.
+	NewRunner func(id string, cache Cache, hooks Hooks) Runner
 	// Cache backs every campaign; nil uses a process-lifetime MemCache
 	// (resubmissions still hit, restarts start cold).
 	Cache Cache
@@ -240,26 +253,32 @@ func (s *Server) execute(st *campaignState) {
 	st.mu.Unlock()
 	defer cancel()
 
-	eng := &Engine{
-		Workers:       s.cfg.Workers,
-		KernelWorkers: s.cfg.KernelWorkers,
-		Cache:         s.cache,
-		Obs:           s.obs,
-		Lake:          s.cfg.Lake,
-		LakeCampaign:  st.id,
-		Hooks: Hooks{JobDone: func(ev JobEvent) {
-			st.mu.Lock()
-			st.done += len(ev.Indices)
-			if ev.Cached {
-				st.cacheHits += len(ev.Indices)
-			} else if ev.Err == nil {
-				st.simulated++
-			}
-			st.mu.Unlock()
-		}},
+	hooks := Hooks{JobDone: func(ev JobEvent) {
+		st.mu.Lock()
+		st.done += len(ev.Indices)
+		if ev.Cached {
+			st.cacheHits += len(ev.Indices)
+		} else if ev.Err == nil {
+			st.simulated++
+		}
+		st.mu.Unlock()
+	}}
+	var runner Runner
+	if s.cfg.NewRunner != nil {
+		runner = s.cfg.NewRunner(st.id, s.cache, hooks)
+	} else {
+		runner = &Engine{
+			Workers:       s.cfg.Workers,
+			KernelWorkers: s.cfg.KernelWorkers,
+			Cache:         s.cache,
+			Obs:           s.obs,
+			Lake:          s.cfg.Lake,
+			LakeCampaign:  st.id,
+			Hooks:         hooks,
+		}
 	}
 	s.obs.Logger().Info("campaign start", "id", st.id, "name", st.grid.Name, "jobs", len(st.jobs))
-	results, stats, err := eng.Run(ctx, st.jobs)
+	results, stats, err := runner.Run(ctx, st.jobs)
 
 	st.mu.Lock()
 	st.results = results

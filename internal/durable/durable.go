@@ -1,0 +1,75 @@
+// Package durable provides crash-durable file writes for the
+// checkpoint layers (the campaign result cache and the columnar result
+// lake). The temp-file + rename idiom alone only protects against a
+// crash of the *process*: after a power loss the filesystem may persist
+// the rename (metadata) without the data it points at, leaving a
+// durable directory entry for a zero-length or torn file — exactly the
+// fault a resume would then read back as a poisoned checkpoint. The
+// writes here close that hole by fsyncing the file before the rename
+// and the parent directory after it.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// WriteFileAtomic writes b to path so that after a crash — including a
+// whole-host power loss — path holds either its previous content (or is
+// absent) or all of b, never a prefix. The sequence is: temp file in
+// the target directory, write, fsync the file, close, rename over path,
+// fsync the directory (so the rename itself is durable). The parent
+// directory is created if needed.
+func WriteFileAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	if werr == nil {
+		// The data must be on stable storage before the rename makes it
+		// reachable, or the rename can survive a power loss that the
+		// data does not.
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr == nil {
+		werr = SyncDir(dir)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("durable: writing %s: %w", filepath.Base(path), werr)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory, making previously completed renames and
+// creates inside it durable (POSIX leaves them volatile until the
+// directory itself is synced). On platforms that cannot fsync
+// directories (Windows, Plan 9) it is a no-op.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if runtime.GOOS == "windows" || runtime.GOOS == "plan9" {
+			return nil
+		}
+		return serr
+	}
+	return cerr
+}

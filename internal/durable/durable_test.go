@@ -1,0 +1,59 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "entry.json")
+	if err := WriteFileAtomic(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	// Overwrite is atomic too.
+	if err := WriteFileAtomic(path, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "world" {
+		t.Fatalf("overwrite read back %q", b)
+	}
+	// No temp files left behind.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "entry.json" {
+			t.Fatalf("leftover file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicRejectsUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := WriteFileAtomic(filepath.Join(dir, "x"), []byte("x")); err == nil {
+		t.Fatal("write into read-only dir succeeded")
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("SyncDir of a missing directory succeeded")
+	}
+}

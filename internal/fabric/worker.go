@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"hsas/internal/campaign"
+	"hsas/internal/lake"
+	"hsas/internal/obs"
+)
+
+// WorkerConfig configures one fabric worker node.
+type WorkerConfig struct {
+	// Workers / KernelWorkers shape the node's local campaign.Engine
+	// pool (zero = engine defaults).
+	Workers       int
+	KernelWorkers int
+	// Cache is the node's local content-addressed cache; leased jobs
+	// resolve against it before simulating, and every entry is served
+	// to the fleet via GET /v1/cache/{key}. Nil uses an in-memory
+	// cache (a worker must cache: the lease protocol reads traces and
+	// the resubmit-is-free guarantee back out of it).
+	Cache campaign.Cache
+	// Lake, when set, keeps a node-local analytical lake of every job
+	// this worker completes.
+	Lake *lake.Writer
+	// Obs receives worker logs and metrics (lease counters, the local
+	// engine's campaign metrics, federated cache hit/miss counters).
+	Obs *obs.Observer
+	// MaxLeaseBytes bounds a single lease request body; 0 defaults to
+	// 64 MiB (roughly 100k jobs).
+	MaxLeaseBytes int64
+}
+
+// Worker executes leased job batches on a local campaign.Engine and
+// serves its cache to the rest of the fleet. Handlers are safe for
+// concurrent use; concurrent leases share the cache but each gets its
+// own engine pool.
+type Worker struct {
+	cfg WorkerConfig
+	met workerMetrics
+}
+
+type workerMetrics struct {
+	leases     *obs.Counter
+	leaseJobs  *obs.Counter
+	cacheHits  *obs.Counter // GET /v1/cache served
+	cacheMiss  *obs.Counter // GET /v1/cache 404s
+	traceHits  *obs.Counter
+	traceMiss  *obs.Counter
+	leaseBusy  *obs.Gauge
+	leaseBatch *obs.Histogram
+}
+
+// NewWorker returns a Worker for cfg, defaulting the cache to an
+// in-memory one.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Cache == nil {
+		cfg.Cache = campaign.NewMemCache()
+	}
+	if cfg.MaxLeaseBytes <= 0 {
+		cfg.MaxLeaseBytes = 64 << 20
+	}
+	reg := cfg.Obs.Registry()
+	return &Worker{cfg: cfg, met: workerMetrics{
+		leases:    reg.Counter("hsas_fabric_worker_leases_total", "lease batches accepted by this worker"),
+		leaseJobs: reg.Counter("hsas_fabric_worker_lease_jobs_total", "jobs received across all lease batches"),
+		cacheHits: reg.Counter("hsas_fabric_cache_serve_hits_total", "federated cache lookups served (result found)"),
+		cacheMiss: reg.Counter("hsas_fabric_cache_serve_misses_total", "federated cache lookups that 404ed"),
+		traceHits: reg.Counter("hsas_fabric_trace_serve_hits_total", "federated trace lookups served"),
+		traceMiss: reg.Counter("hsas_fabric_trace_serve_misses_total", "federated trace lookups that 404ed"),
+		leaseBusy: reg.Gauge("hsas_fabric_worker_leases_inflight", "lease batches currently executing"),
+		leaseBatch: reg.Histogram("hsas_fabric_worker_lease_batch_jobs", "jobs per lease batch",
+			[]float64{1, 4, 16, 64, 256, 1024, 4096, 16384}),
+	}}
+}
+
+// Cache exposes the worker's local cache (for tests and embedding).
+func (w *Worker) Cache() campaign.Cache { return w.cfg.Cache }
+
+// Handler returns the worker's HTTP API:
+//
+//	POST /v1/lease             execute a job batch, stream NDJSON results
+//	GET  /v1/cache/{key}       federated cache: result JSON or 404
+//	GET  /v1/cache/{key}/trace federated cache: trace CSV or 404
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus exposition
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", w.handleLease)
+	mux.HandleFunc("GET /v1/cache/{key}", w.handleCacheGet)
+	mux.HandleFunc("GET /v1/cache/{key}/trace", w.handleCacheTrace)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /metrics", w.cfg.Obs.Registry().Handler())
+	return mux
+}
+
+// handleLease runs one leased batch on a local engine, streaming one
+// NDJSON line per completed job as it completes (the stream is the
+// coordinator's liveness signal) and a trailer line with batch totals.
+func (w *Worker) handleLease(rw http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, w.cfg.MaxLeaseBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(rw, http.StatusBadRequest, "decoding lease request: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(rw, http.StatusBadRequest, "lease request carries no jobs")
+		return
+	}
+	w.met.leases.Inc()
+	w.met.leaseJobs.Add(int64(len(req.Jobs)))
+	w.met.leaseBatch.Observe(float64(len(req.Jobs)))
+	w.met.leaseBusy.Add(1)
+	defer w.met.leaseBusy.Add(-1)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.Header().Set("X-Accel-Buffering", "no")
+	rw.WriteHeader(http.StatusOK)
+	flusher, _ := rw.(http.Flusher)
+
+	// JobDone is serialized by the engine, so the stream needs no extra
+	// locking. An encode failure means the coordinator hung up: cancel
+	// the engine so the remaining jobs re-queue elsewhere instead of
+	// burning this node.
+	enc := json.NewEncoder(rw)
+	emit := func(line leaseLine) {
+		if err := enc.Encode(line); err != nil {
+			cancel()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	eng := &campaign.Engine{
+		Workers:       w.cfg.Workers,
+		KernelWorkers: w.cfg.KernelWorkers,
+		Cache:         w.cfg.Cache,
+		Lake:          w.cfg.Lake,
+		LakeCampaign:  req.Campaign,
+		Obs:           w.cfg.Obs,
+		Hooks: campaign.Hooks{JobDone: func(ev campaign.JobEvent) {
+			if ev.Err != nil || ev.Result == nil {
+				return // engine error surfaces in the trailer
+			}
+			key, err := ev.Spec.Key()
+			if err != nil {
+				return
+			}
+			line := leaseLine{Key: key, Result: ev.Result, Cached: ev.Cached}
+			if ev.Spec.RecordTrace {
+				if csv, ok, _ := w.cfg.Cache.GetTrace(key); ok {
+					line.Trace = csv
+				}
+			}
+			emit(line)
+		}},
+	}
+	_, stats, err := eng.Run(ctx, req.Jobs)
+	trailer := leaseLine{Done: true, Simulated: stats.Simulated, CacheHits: stats.CacheHits}
+	if err != nil && ctx.Err() == nil {
+		trailer.Error = err.Error()
+	}
+	emit(trailer)
+}
+
+// handleCacheGet serves the federated cache tier: a peer (or a
+// coordinator probing before scheduling) reads this node's cached
+// result for a key.
+func (w *Worker) handleCacheGet(rw http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok, err := w.cfg.Cache.Get(key)
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, "cache read: %v", err)
+		return
+	}
+	if !ok {
+		w.met.cacheMiss.Inc()
+		writeError(rw, http.StatusNotFound, "no cached result for %s", key)
+		return
+	}
+	w.met.cacheHits.Inc()
+	writeJSON(rw, http.StatusOK, res)
+}
+
+// handleCacheTrace serves a cached trace CSV for record_trace jobs.
+func (w *Worker) handleCacheTrace(rw http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	csv, ok, err := w.cfg.Cache.GetTrace(key)
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, "cache trace read: %v", err)
+		return
+	}
+	if !ok {
+		w.met.traceMiss.Inc()
+		writeError(rw, http.StatusNotFound, "no cached trace for %s", key)
+		return
+	}
+	w.met.traceHits.Inc()
+	rw.Header().Set("Content-Type", "text/csv")
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(csv)
+}

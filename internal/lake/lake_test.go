@@ -205,17 +205,21 @@ func TestWriterScanRoundTrip(t *testing.T) {
 	}
 }
 
-// TestScanSkipsTempAndErrorsOnCorrupt pins the crash-safety contract:
-// leftover temp files are invisible, while a corrupted sealed segment
-// is a loud error, not a panic or silent truncation.
-func TestScanSkipsTempAndErrorsOnCorrupt(t *testing.T) {
+// TestScanSkipsTempAndTornSegments pins the crash-safety contract:
+// leftover temp files are invisible, and a torn sealed segment (the
+// power-loss artifact of a pre-fsync lake) is skipped with an error
+// count — one bad segment costs its own rows, never the aggregation.
+func TestScanSkipsTempAndTornSegments(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWriter(dir, nil)
+	w, err := OpenWriter(dir, &WriterOptions{SegmentRows: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.AppendResult(ResultRow{Campaign: "c", Key: "k", MAE: 0.5}); err != nil {
-		t.Fatal(err)
+	// Two sealed one-row segments, so tearing one leaves one readable.
+	for _, key := range []string{"k1", "k2"} {
+		if err := w.AppendResult(ResultRow{Campaign: "c", Key: key, MAE: 0.5}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
@@ -227,13 +231,14 @@ func TestScanSkipsTempAndErrorsOnCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 0
-	if _, err := ScanResults(dir, func(*ResultRow) error { n++; return nil }); err != nil || n != 1 {
-		t.Fatalf("scan with temp file: rows=%d err=%v", n, err)
+	if stats, err := ScanResults(dir, func(*ResultRow) error { n++; return nil }); err != nil || n != 2 || stats.Corrupt != 0 {
+		t.Fatalf("scan with temp file: rows=%d corrupt=%d err=%v", n, stats.Corrupt, err)
 	}
 
-	// Truncating a sealed segment must fail the scan with an error.
+	// Truncate the first sealed segment: the scan must skip it, count
+	// it, and still deliver the second segment's row.
 	segs, err := segmentFiles(filepath.Join(dir, resultsSubdir))
-	if err != nil || len(segs) != 1 {
+	if err != nil || len(segs) != 2 {
 		t.Fatalf("segments: %v %v", segs, err)
 	}
 	b, err := os.ReadFile(segs[0])
@@ -243,8 +248,32 @@ func TestScanSkipsTempAndErrorsOnCorrupt(t *testing.T) {
 	if err := os.WriteFile(segs[0], b[:len(b)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ScanResults(dir, func(*ResultRow) error { return nil }); err == nil {
-		t.Fatal("scan of truncated segment did not error")
+	var keys []string
+	stats, err := ScanResults(dir, func(r *ResultRow) error { keys = append(keys, r.Key); return nil })
+	if err != nil {
+		t.Fatalf("scan with torn segment errored: %v", err)
+	}
+	if stats.Corrupt != 1 || stats.Segments != 1 || len(keys) != 1 || keys[0] != "k2" {
+		t.Fatalf("torn-segment scan: corrupt=%d segments=%d keys=%v", stats.Corrupt, stats.Segments, keys)
+	}
+
+	// The aggregation layer rides the same contract: it answers from
+	// the surviving rows and surfaces the corrupt count.
+	groups, astats, err := Aggregate(dir, Query{})
+	if err != nil || astats.Corrupt != 1 {
+		t.Fatalf("aggregate over torn lake: corrupt=%d err=%v", astats.Corrupt, err)
+	}
+	if len(groups) != 1 || groups[0].Jobs != 1 {
+		t.Fatalf("aggregate groups = %+v, want the one surviving row", groups)
+	}
+
+	// A zero-length segment (durable rename, no data) is the canonical
+	// power-loss artifact; it must behave the same way.
+	if err := os.WriteFile(segs[0], nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if stats, err := ScanResults(dir, func(*ResultRow) error { return nil }); err != nil || stats.Corrupt != 1 {
+		t.Fatalf("zero-length segment scan: corrupt=%d err=%v", stats.Corrupt, err)
 	}
 }
 
@@ -282,6 +311,9 @@ func TestWriterRejectsUseAfterClose(t *testing.T) {
 	}
 	if err := w.AppendTrace(TraceRow{}); err == nil {
 		t.Fatal("AppendTrace after Close succeeded")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush after Close succeeded")
 	}
 	if err := w.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)

@@ -9,10 +9,16 @@ import (
 // ScanStats reports the physical work of one scan: segments and rows
 // visited and total bytes read. They back the obs instrumentation of
 // the analytics endpoints (scan seconds, rows/sec, bytes scanned).
+// Corrupt counts sealed segments that failed to decode and were skipped
+// — a torn segment (e.g. one written by a pre-fsync lake version that
+// lost power mid-seal) costs its own rows but never fails the whole
+// aggregation; a non-zero count is the operator's signal to delete the
+// segment and regenerate it from the content-addressed cache.
 type ScanStats struct {
 	Segments int   `json:"segments"`
 	Rows     int64 `json:"rows"`
 	Bytes    int64 `json:"bytes"`
+	Corrupt  int   `json:"corrupt,omitempty"`
 }
 
 // ScanResults streams every result row of the lake, in segment order,
@@ -41,7 +47,11 @@ func scanTable[T any](dir string, decode func([]byte) ([]T, error), fn func(*T) 
 		}
 		rows, err := decode(b)
 		if err != nil {
-			return stats, fmt.Errorf("lake: decoding %s: %w", filepath.Base(path), err)
+			// A torn segment loses its own rows, not the aggregation:
+			// count it and keep scanning (the sticky-error decoders
+			// guarantee err-not-panic on any corruption).
+			stats.Corrupt++
+			continue
 		}
 		stats.Segments++
 		stats.Bytes += int64(len(b))

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"hsas/internal/durable"
 )
 
 // Directory layout: <dir>/results/seg-<n>.lks and <dir>/traces/
@@ -155,10 +157,15 @@ func (w *Writer) AppendTrace(rows ...TraceRow) error {
 }
 
 // Flush seals any buffered rows into (possibly short) segments, making
-// everything appended so far visible to scans.
+// everything appended so far visible to scans. Like the appends, it
+// errors on a closed writer (nothing can still be buffered then, but a
+// caller flushing a closed writer has a lifecycle bug worth surfacing).
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("lake: writer is closed")
+	}
 	if err := w.sealResultsLocked(); err != nil {
 		return err
 	}
@@ -210,24 +217,15 @@ func (w *Writer) sealTracesLocked(n int) error {
 	return nil
 }
 
-// sealSegment writes segment bytes to a temp file and renames it into
-// place: the segment is either fully visible or absent, never torn.
+// sealSegment writes segment bytes through a fsync'd temp file, renames
+// it into place, and fsyncs the directory (internal/durable): the
+// segment is either fully visible or absent — even across a power loss,
+// which a bare rename would not survive (the directory entry can be
+// persisted ahead of the data, leaving a durable zero-length segment).
 func sealSegment(dir string, seq int, b []byte) error {
-	tmp, err := os.CreateTemp(dir, ".tmp-seg-*")
-	if err != nil {
-		return fmt.Errorf("lake: sealing segment: %w", err)
-	}
-	_, werr := tmp.Write(b)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix)))
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("lake: sealing segment %d: %w", seq, werr)
+	path := filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix))
+	if err := durable.WriteFileAtomic(path, b); err != nil {
+		return fmt.Errorf("lake: sealing segment %d: %w", seq, err)
 	}
 	return nil
 }
