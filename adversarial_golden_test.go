@@ -1,0 +1,145 @@
+package hsas_test
+
+import (
+	"context"
+	"testing"
+
+	hsas "hsas"
+)
+
+// TestGoldenAdversarialMargins pins the end-to-end robustness-margin
+// search on the two reference tracks (Table III rows 1 and 8) at the
+// 192x96 camera and seed 1, for the extreme knob tunings (case 1 fixed
+// straight knobs, case 4 fully situation-aware). Margins, failure
+// points, statuses and probe counts are exact: probes are
+// bit-deterministic closed-loop runs and the bisection schedule is a
+// pure function of the search range, so any drift here is a behavioral
+// regression in the sensing pipeline, the fault injector, the campaign
+// engine or the search itself.
+//
+// The two grids were chosen to cover every cell status:
+//
+//   - RAW noise bursts separate the tunings: on the straight, case 4
+//     survives twice the noise magnitude case 1 does; on the right turn
+//     case 1 crashes even fault-free (the paper's motivating failure,
+//     status "unsafe").
+//   - Lane-marking occlusion up to 80% is survivable everywhere the
+//     loop is viable at all (status "saturated") — detection degrades
+//     (see internal/sim's occlusion test) but graceful degradation
+//     carries the loop.
+//
+// Both searches share one cache; the final section pins the warm-start
+// contract: resubmitting both searches simulates nothing and returns
+// the identical tables.
+//
+// If an intentional change shifts these numbers, re-derive them with
+// the same grids and update the table — and say why in the commit.
+func TestGoldenAdversarialMargins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden adversarial sweep is ~25 closed-loop sims")
+	}
+
+	type cellGolden struct {
+		sit    int
+		knob   string
+		margin float64
+		failAt float64
+		status string
+		probes int
+	}
+	grids := []struct {
+		name   string
+		grid   hsas.AdversarialGrid
+		golden []cellGolden
+	}{
+		{
+			name: "noise",
+			grid: hsas.AdversarialGrid{
+				Situations: []int{1, 8},
+				Cases:      []int{1, 4},
+				Width:      192, Height: 96, Seed: 1,
+				Fault: "noise:mag=$mag",
+				Lo:    0, Hi: 2, Tol: 0.25,
+			},
+			golden: []cellGolden{
+				{1, "case 1 (no classifiers)", 0, 0.25, hsas.AdversarialStatusBounded, 5},
+				{1, "case 4 (all classifiers)", 0.25, 0.5, hsas.AdversarialStatusBounded, 5},
+				{8, "case 1 (no classifiers)", 0, 0, hsas.AdversarialStatusUnsafe, 1},
+				{8, "case 4 (all classifiers)", 0, 0.25, hsas.AdversarialStatusBounded, 5},
+			},
+		},
+		{
+			name: "occlusion",
+			grid: hsas.AdversarialGrid{
+				Situations: []int{1, 8},
+				Cases:      []int{1, 4},
+				Width:      192, Height: 96, Seed: 1,
+				Fault: "occlude:frac=$mag",
+				Lo:    0, Hi: 0.8, Tol: 0.2,
+			},
+			golden: []cellGolden{
+				{1, "case 1 (no classifiers)", 0.8, 0, hsas.AdversarialStatusSaturated, 2},
+				{1, "case 4 (all classifiers)", 0.8, 0, hsas.AdversarialStatusSaturated, 2},
+				{8, "case 1 (no classifiers)", 0, 0, hsas.AdversarialStatusUnsafe, 1},
+				{8, "case 4 (all classifiers)", 0.8, 0, hsas.AdversarialStatusSaturated, 2},
+			},
+		},
+	}
+
+	cache := hsas.NewCampaignMemCache()
+	runner := &hsas.CampaignEngine{Cache: cache}
+	run := func(g hsas.AdversarialGrid) *hsas.AdversarialResult {
+		t.Helper()
+		res, err := hsas.AdversarialRun(context.Background(), hsas.AdversarialConfig{
+			Grid: g, Runner: runner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	var coldSim, coldHits int
+	for _, tc := range grids {
+		res := run(tc.grid)
+		if len(res.Cells) != len(tc.golden) {
+			t.Fatalf("%s: %d cells, want %d", tc.name, len(res.Cells), len(tc.golden))
+		}
+		for i, want := range tc.golden {
+			c := res.Cells[i]
+			if c.SituationIndex != want.sit || c.Knob != want.knob {
+				t.Errorf("%s cell %d: (sit %d, %q), want (sit %d, %q) — grid order regressed",
+					tc.name, i, c.SituationIndex, c.Knob, want.sit, want.knob)
+				continue
+			}
+			if c.Search.Margin != want.margin || c.Search.FailAt != want.failAt ||
+				c.Search.Status != want.status || c.Search.Probes != want.probes {
+				t.Errorf("%s sit %d %s: margin=%g fail_at=%g status=%s probes=%d, want margin=%g fail_at=%g status=%s probes=%d",
+					tc.name, want.sit, want.knob,
+					c.Search.Margin, c.Search.FailAt, c.Search.Status, c.Search.Probes,
+					want.margin, want.failAt, want.status, want.probes)
+			}
+		}
+		coldSim += res.Stats.Simulated
+		coldHits += res.Stats.CacheHits
+		t.Logf("%s cold: %+v", tc.name, res.Stats)
+	}
+	if coldSim == 0 {
+		t.Fatal("cold searches simulated nothing — cache not actually cold")
+	}
+
+	// Warm resubmission: the probe sequence is deterministic, so every
+	// job is already in the cache and nothing simulates.
+	for _, tc := range grids {
+		res := run(tc.grid)
+		if res.Stats.Simulated != 0 {
+			t.Errorf("warm %s search simulated %d jobs, want 0", tc.name, res.Stats.Simulated)
+		}
+		for i, want := range tc.golden {
+			c := res.Cells[i]
+			if c.Search.Margin != want.margin || c.Search.Status != want.status || c.Search.Probes != want.probes {
+				t.Errorf("warm %s cell %d diverged from cold: %+v", tc.name, i, c.Search)
+			}
+		}
+	}
+}

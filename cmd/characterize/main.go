@@ -8,9 +8,18 @@
 // checkpoints every run in a content-addressed cache, so an interrupted
 // sweep resumes where it stopped and a repeated sweep costs zero
 // simulations.
+//
+// With -adversarial the command instead searches per-cell robustness
+// margins (see internal/adversarial): for every situation and knob cell
+// it bisects over the -adv-fault template's magnitude for the largest
+// perturbation the cell survives, printing a margin table (-adv-format
+// table, csv or json). Probes are ordinary cached campaign jobs, so a
+// repeated search with -cache-dir simulates nothing.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,10 +27,13 @@ import (
 	"strconv"
 	"strings"
 
+	"hsas/internal/adversarial"
 	"hsas/internal/camera"
+	"hsas/internal/campaign"
 	"hsas/internal/core"
 	"hsas/internal/isp"
 	"hsas/internal/knobs"
+	"hsas/internal/lake"
 	"hsas/internal/obs"
 	"hsas/internal/world"
 )
@@ -35,6 +47,10 @@ type cliConfig struct {
 	metricsOut  string
 	reg         *obs.Registry
 	quiet       bool
+
+	adversarial bool
+	adv         adversarial.Grid
+	advFormat   string
 }
 
 // parseCLI parses and validates the characterize command line; errOut
@@ -56,6 +72,14 @@ func parseCLI(args []string, errOut io.Writer) (*cliConfig, error) {
 	lakeDir := fs.String("lake-dir", "", "append every run's result to the columnar lake here (query with lkas-lake)")
 	logLevel := fs.String("log-level", "", "enable structured sweep logging at this level: debug, info, warn or error")
 	metricsOut := fs.String("metrics-out", "", "after the sweep, dump Prometheus text exposition to this file ('-' for stderr)")
+	adv := fs.Bool("adversarial", false, "search per-cell robustness margins instead of characterizing")
+	advFault := fs.String("adv-fault", "occlude:frac=$mag", "fault-spec template with a $mag magnitude placeholder (with -adversarial)")
+	advCases := fs.String("adv-cases", "", "comma-separated evaluation cases forming the knob axis (default 4; with -adversarial)")
+	advLo := fs.Float64("adv-lo", 0, "magnitude search range lower bound (with -adversarial)")
+	advHi := fs.Float64("adv-hi", 1, "magnitude search range upper bound (with -adversarial)")
+	advTol := fs.Float64("adv-tol", 0, "bisection tolerance (0 = range/64; with -adversarial)")
+	advRefine := fs.Int("adv-refine", 0, "refinement samples hunting non-monotone failure islands (with -adversarial)")
+	advFormat := fs.String("adv-format", "table", "margin table output format: table, csv or json (with -adversarial)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -101,6 +125,38 @@ func parseCLI(args []string, errOut io.Writer) (*cliConfig, error) {
 				return nil, fmt.Errorf("bad situation index %q: want 1..%d", tok, len(world.PaperSituations))
 			}
 			c.char.Situations = append(c.char.Situations, world.PaperSituations[i-1])
+			// The adversarial grid addresses situations by their 1-based
+			// paper index, so keep the indices alongside the values.
+			c.adv.Situations = append(c.adv.Situations, i)
+		}
+	}
+	if *adv {
+		if *sensitivity {
+			return nil, fmt.Errorf("-adversarial and -sensitivity are mutually exclusive")
+		}
+		switch *advFormat {
+		case "table", "csv", "json":
+		default:
+			return nil, fmt.Errorf("bad -adv-format %q: want table, csv or json", *advFormat)
+		}
+		c.adversarial = true
+		c.advFormat = *advFormat
+		c.adv.Width = *width
+		c.adv.Height = *height
+		c.adv.Seed = *seed
+		c.adv.Fault = *advFault
+		c.adv.Lo = *advLo
+		c.adv.Hi = *advHi
+		c.adv.Tol = *advTol
+		c.adv.Refine = *advRefine
+		if *advCases != "" {
+			for _, tok := range strings.Split(*advCases, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil {
+					return nil, fmt.Errorf("bad -adv-cases entry %q: %v", tok, err)
+				}
+				c.adv.Cases = append(c.adv.Cases, n)
+			}
 		}
 	}
 	if *isps != "" {
@@ -134,6 +190,18 @@ func main() {
 	}
 	if !c.quiet {
 		c.char.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if c.adversarial {
+		if err := runAdversarial(c); err != nil {
+			fmt.Fprintln(os.Stderr, "adversarial:", err)
+			os.Exit(1)
+		}
+		if err := maybeDumpMetrics(c); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if c.sensitivity {
@@ -189,6 +257,69 @@ func main() {
 		fmt.Printf("%-4d %-38s %-5s ROI %d [%g, %g, %g]\n",
 			i+1, row.Situation.String(), row.ISP, row.ROI, row.SpeedKmph, row.HMs, row.TauMs)
 	}
+}
+
+// runAdversarial executes the robustness-margin search and prints the
+// per-cell table in the selected format. Probes run on the same
+// campaign engine as the characterization sweep, so -cache-dir makes a
+// repeated search free.
+func runAdversarial(c *cliConfig) error {
+	eng := &campaign.Engine{Workers: c.char.Workers, Obs: c.char.Obs}
+	if c.char.CacheDir != "" {
+		cache, err := campaign.NewDirCache(c.char.CacheDir)
+		if err != nil {
+			return err
+		}
+		eng.Cache = cache
+	} else {
+		eng.Cache = campaign.NewMemCache()
+	}
+	if c.char.LakeDir != "" {
+		lw, err := lake.OpenWriter(c.char.LakeDir, nil)
+		if err != nil {
+			return err
+		}
+		defer lw.Close()
+		eng.Lake = lw
+		eng.LakeCampaign = "adversarial"
+	}
+
+	var progress func(adversarial.Cell)
+	if c.char.Progress != nil {
+		progress = func(cell adversarial.Cell) {
+			c.char.Progress(fmt.Sprintf("sit %d | %s: margin %g (%s, %d probes)",
+				cell.SituationIndex, cell.Knob, cell.Search.Margin, cell.Search.Status, cell.Search.Probes))
+		}
+	}
+	res, err := adversarial.Run(context.Background(), adversarial.Config{
+		Grid:     c.adv,
+		Runner:   eng,
+		Obs:      c.char.Obs,
+		Progress: progress,
+	})
+	if err != nil {
+		return err
+	}
+
+	switch c.advFormat {
+	case "csv":
+		if err := res.FormatCSV(os.Stdout); err != nil {
+			return err
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	default:
+		fmt.Print(res.FormatTable())
+	}
+	// The stats line is the warm-start witness: a repeated search over a
+	// shared -cache-dir must report simulated=0.
+	fmt.Fprintf(os.Stderr, "adversarial: cells=%d probes=%d cache_hits=%d simulated=%d\n",
+		len(res.Cells), res.Stats.Jobs, res.Stats.CacheHits, res.Stats.Simulated)
+	return nil
 }
 
 // maybeDumpMetrics writes the Prometheus exposition when -metrics-out

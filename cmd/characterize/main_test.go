@@ -27,6 +27,9 @@ func TestParseCLIRejectsBadFlags(t *testing.T) {
 		// with the valid IDs spelled out, not minutes into the sweep.
 		{"unknown isp", []string{"-isps", "S9"}, `bad -isps candidate "S9"`},
 		{"isp typo", []string{"-isps", "S0,sx"}, "S0, S1, S2, S3, S4, S5, S6, S7, S8"},
+		{"adversarial with sensitivity", []string{"-adversarial", "-sensitivity"}, "mutually exclusive"},
+		{"bad adv format", []string{"-adversarial", "-adv-format", "xml"}, "bad -adv-format"},
+		{"bad adv cases", []string{"-adversarial", "-adv-cases", "1,x"}, "bad -adv-cases"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -91,5 +94,46 @@ func TestParseCLISensitivityKeepsMetricsAndWorkers(t *testing.T) {
 	}
 	if c.char.Workers != 4 || len(c.char.ISPCandidates) != 1 || c.char.ISPCandidates[0] != "S2" {
 		t.Fatalf("-workers/-isps not carried: workers=%d isps=%v", c.char.Workers, c.char.ISPCandidates)
+	}
+}
+
+// TestParseCLIAdversarialGrid: the -adv-* flags and the shared
+// geometry/seed/situations flags land in the search grid, with
+// situations carried as their 1-based paper indices.
+func TestParseCLIAdversarialGrid(t *testing.T) {
+	c, err := parseCLI([]string{
+		"-adversarial", "-situations", "1,8", "-width", "192", "-height", "96",
+		"-seed", "7", "-adv-fault", "noise:mag=$mag", "-adv-cases", "1,4",
+		"-adv-lo", "0.1", "-adv-hi", "0.9", "-adv-tol", "0.05", "-adv-refine", "2",
+		"-adv-format", "csv",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.adversarial || c.advFormat != "csv" {
+		t.Fatalf("mode = %v format = %q", c.adversarial, c.advFormat)
+	}
+	g := c.adv
+	if len(g.Situations) != 2 || g.Situations[0] != 1 || g.Situations[1] != 8 {
+		t.Fatalf("grid situations = %v, want 1-based indices [1 8]", g.Situations)
+	}
+	if g.Width != 192 || g.Height != 96 || g.Seed != 7 {
+		t.Fatalf("grid geometry/seed = %dx%d seed %d", g.Width, g.Height, g.Seed)
+	}
+	if g.Fault != "noise:mag=$mag" || g.Lo != 0.1 || g.Hi != 0.9 || g.Tol != 0.05 || g.Refine != 2 {
+		t.Fatalf("grid search params = %+v", g)
+	}
+	if len(g.Cases) != 2 || g.Cases[0] != 1 || g.Cases[1] != 4 {
+		t.Fatalf("grid cases = %v", g.Cases)
+	}
+
+	// Defaults: table format, occlusion template, full magnitude range.
+	c, err = parseCLI([]string{"-adversarial"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.advFormat != "table" || c.adv.Fault != "occlude:frac=$mag" ||
+		c.adv.Lo != 0 || c.adv.Hi != 1 || c.adv.Tol != 0 || c.adv.Refine != 0 {
+		t.Fatalf("adversarial defaults = format %q grid %+v", c.advFormat, c.adv)
 	}
 }

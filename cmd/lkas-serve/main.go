@@ -17,6 +17,12 @@
 // over it (see internal/lake and cmd/lkas-lake). -pprof mounts the Go
 // profiler under /debug/pprof/ (off by default).
 //
+// POST /v1/adversarial runs a robustness-margin search (see
+// internal/adversarial): the body is a search grid, the response
+// streams one NDJSON line per completed (situation, knob) cell plus a
+// final margin table. Probes share the campaign cache, so a repeated
+// search simulates nothing.
+//
 // With -fabric-workers, campaigns are not simulated in-process:
 // submitted grids shard across the listed lkas-worker nodes, with
 // cache misses resolved through the federated cache tier first (see
@@ -38,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"hsas/internal/adversarial"
 	"hsas/internal/campaign"
 	"hsas/internal/fabric"
 	"hsas/internal/lake"
@@ -187,6 +194,34 @@ func serverConfig(o *options, logOut io.Writer) (campaign.ServerConfig, error) {
 	return cfg, nil
 }
 
+// handler mounts the campaign API plus the adversarial margin-search
+// endpoint. Adversarial searches run against the server's shared cache
+// (warm probes cost nothing and pre-warm future campaigns) but bypass
+// the one-campaign-at-a-time queue: a search is many tiny sequential
+// batches, and serializing it behind a bulk campaign would starve it.
+func handler(s *campaign.Server, cfg campaign.ServerConfig, o *options) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("POST /v1/adversarial", adversarial.NewHandler(adversarial.ServerConfig{
+		Parallel: 1,
+		Obs:      cfg.Obs,
+		NewRunner: func() campaign.Runner {
+			if cfg.NewRunner != nil {
+				return cfg.NewRunner("adversarial", s.Cache(), campaign.Hooks{})
+			}
+			return &campaign.Engine{
+				Workers:       o.workers,
+				KernelWorkers: o.kernels,
+				Cache:         s.Cache(),
+				Lake:          cfg.Lake,
+				LakeCampaign:  "adversarial",
+				Obs:           cfg.Obs,
+			}
+		},
+	}))
+	return mux
+}
+
 func main() {
 	o, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
@@ -201,7 +236,7 @@ func main() {
 
 	s := campaign.NewServer(cfg)
 	s.Start()
-	httpSrv := &http.Server{Addr: o.addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	httpSrv := &http.Server{Addr: o.addr, Handler: handler(s, cfg, o), ReadHeaderTimeout: 5 * time.Second}
 
 	log := cfg.Obs.Logger()
 	errCh := make(chan error, 1)

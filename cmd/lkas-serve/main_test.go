@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -123,5 +125,43 @@ func TestServerConfigFabricMode(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-fabric-batch", "0"}, io.Discard); err != nil {
 		t.Fatalf("-fabric-batch ignored outside fabric mode, got %v", err)
+	}
+}
+
+// TestHandlerMountsAdversarialEndpoint: the outer mux serves both the
+// campaign API and POST /v1/adversarial, and a malformed grid is
+// rejected with 400 before any simulation.
+func TestHandlerMountsAdversarialEndpoint(t *testing.T) {
+	o, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := serverConfig(o, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := campaign.NewServer(cfg)
+	h := handler(s, cfg, o)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz through outer mux: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/adversarial", strings.NewReader(`{"fault":"no placeholder"}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad grid: status %d, want 400 (body %s)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "$mag") {
+		t.Fatalf("error does not mention the placeholder: %s", rec.Body.String())
+	}
+
+	// GET on the adversarial route is not a match for the POST pattern.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/adversarial", nil))
+	if rec.Code == http.StatusOK {
+		t.Fatal("GET /v1/adversarial unexpectedly accepted")
 	}
 }

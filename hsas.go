@@ -36,6 +36,7 @@
 package hsas
 
 import (
+	"hsas/internal/adversarial"
 	"hsas/internal/approx"
 	"hsas/internal/camera"
 	"hsas/internal/campaign"
@@ -214,6 +215,8 @@ const (
 	FaultClassStuck      = fault.ClassStuck
 	FaultClassFlip       = fault.ClassFlip
 	FaultDeadlineOverrun = fault.DeadlineOverrun
+	FaultCorrelated      = fault.Correlated
+	FaultLaneOcclude     = fault.LaneOcclude
 )
 
 // ParseFaultSpec parses the -faults text format (see the fault package
@@ -288,6 +291,52 @@ var (
 	NewCampaignMemCache = campaign.NewMemCache
 	NewCampaignDirCache = campaign.NewDirCache
 	NewCampaignServer   = campaign.NewServer
+)
+
+// Adversarial robustness-margin search: for every (situation, knob)
+// cell of a grid, bisect (with optional evolutionary refinement) over a
+// fault template's scalar magnitude for the largest perturbation the
+// closed loop still survives without crashing or entering fallback.
+// Every probe is an ordinary campaign job — content-addressed, cached
+// and bit-deterministic — so margins are identical for any worker count
+// or fabric fleet, and a warm re-search simulates nothing.
+// cmd/characterize -adversarial and the lkas-serve POST /v1/adversarial
+// endpoint expose the same search.
+type (
+	// AdversarialGrid declares a margin-search grid (situations × knob
+	// axis, fault template with a $mag placeholder, search range).
+	AdversarialGrid = adversarial.Grid
+	// AdversarialConfig binds a grid to a campaign runner.
+	AdversarialConfig = adversarial.Config
+	// AdversarialCell is one (situation, knob) cell's search outcome.
+	AdversarialCell = adversarial.Cell
+	// AdversarialResult is the full margin table plus run statistics.
+	AdversarialResult = adversarial.Result
+	// AdversarialSearch tunes the bisection (range, tolerance, refine).
+	AdversarialSearch = adversarial.Search
+	// AdversarialSearchResult is one cell's margin, status and probes.
+	AdversarialSearchResult = adversarial.SearchResult
+	// AdversarialServerConfig parameterizes the streaming HTTP handler.
+	AdversarialServerConfig = adversarial.ServerConfig
+)
+
+// Margin-search cell statuses, and the magnitude placeholder substituted
+// into fault templates.
+const (
+	AdversarialStatusUnsafe    = adversarial.StatusUnsafe
+	AdversarialStatusBounded   = adversarial.StatusBounded
+	AdversarialStatusSaturated = adversarial.StatusSaturated
+	AdversarialPlaceholder     = adversarial.MagPlaceholder
+)
+
+// AdversarialRun executes a margin search over a campaign runner;
+// AdversarialMagSpec substitutes a magnitude into a fault template and
+// canonicalizes it; NewAdversarialHandler builds the streaming NDJSON
+// HTTP handler mounted by lkas-serve.
+var (
+	AdversarialRun        = adversarial.Run
+	AdversarialMagSpec    = adversarial.MagSpec
+	NewAdversarialHandler = adversarial.NewHandler
 )
 
 // Distributed campaign fabric: a coordinator shards campaign jobs

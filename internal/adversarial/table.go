@@ -1,0 +1,61 @@
+package adversarial
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatCSV writes the margin table as CSV. Floats render with
+// strconv's shortest exact 'g' form, so the CSV bytes are the
+// determinism contract: two searches agree iff their CSVs are
+// byte-identical. Knob names contain commas ("{ISP S0, ROI 2, ...}"),
+// which encoding/csv quotes for us.
+func (r *Result) FormatCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"situation", "situation_name", "knob", "margin", "fail_at", "status", "probes"}); err != nil {
+		return err
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		rec := []string{
+			strconv.Itoa(c.SituationIndex),
+			c.Situation,
+			c.Knob,
+			strconv.FormatFloat(c.Search.Margin, 'g', -1, 64),
+			strconv.FormatFloat(c.Search.FailAt, 'g', -1, 64),
+			c.Search.Status,
+			strconv.Itoa(c.Search.Probes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatTable renders the margin table for humans: aligned columns
+// plus a trailing fault-template line.
+func (r *Result) FormatTable() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SIT\tSITUATION\tKNOB\tMARGIN\tFAIL AT\tSTATUS\tPROBES")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		failAt := "-"
+		if c.Search.Status != StatusSaturated {
+			failAt = strconv.FormatFloat(c.Search.FailAt, 'g', 4, 64)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%d\n",
+			c.SituationIndex, c.Situation, c.Knob,
+			strconv.FormatFloat(c.Search.Margin, 'g', 4, 64),
+			failAt, c.Search.Status, c.Search.Probes)
+	}
+	tw.Flush()
+	fmt.Fprintf(&b, "fault template: %s\n", r.Fault)
+	return b.String()
+}

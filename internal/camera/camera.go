@@ -92,6 +92,14 @@ type Renderer struct {
 	// partitions loop bounds over independent pixels.
 	Workers int
 
+	// Occlude, when non-nil, masks lane-marking paint: a marking point at
+	// track coordinates (s, lat) that Occlude reports as occluded is
+	// shaded as bare asphalt. The fault layer injects adversarial
+	// occlusion patterns here. It is called from the row-parallel shading
+	// loop and MUST be a pure function of its arguments, or the
+	// byte-identical-for-any-worker-count contract breaks.
+	Occlude func(s, lat float64) bool
+
 	rayX, rayY, rayZ []float64 // per-pixel ray directions in camera frame
 	vig              []float32 // per-pixel vignetting gain
 
@@ -188,7 +196,11 @@ func (r *Renderer) shadeGround(gx, gy float64, vp VehiclePose, scene world.Scene
 	s, lat, ok := r.Track.Locate(gx, gy, vp.S, 20, r.Cam.MaxDist+10, world.RoadHalfWidth+6)
 	var alb [3]float64
 	if ok {
-		alb = albedo(r.Track.SurfaceAt(s, lat), gx, gy)
+		sf := r.Track.SurfaceAt(s, lat)
+		if sf.Kind == world.SurfaceMarking && r.Occlude != nil && r.Occlude(s, lat) {
+			sf = world.Surface{Kind: world.SurfaceAsphalt}
+		}
+		alb = albedo(sf, gx, gy)
 	} else {
 		alb = albedo(world.Surface{Kind: world.SurfaceOffRoad}, gx, gy)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"hsas/internal/fault"
 	"hsas/internal/raster"
 	"hsas/internal/world"
 )
@@ -230,5 +231,66 @@ func TestRenderOnCurve(t *testing.T) {
 	}
 	if bright < 10 {
 		t.Fatalf("no markings rendered on curve (%d bright px)", bright)
+	}
+}
+
+// TestOccluderMasksMarkings: a full occluder erases the bright marking
+// pixels (they shade as asphalt), a nil or never-firing occluder
+// changes nothing, and the occluded render stays byte-identical across
+// worker counts (the Occlude purity contract).
+func TestOccluderMasksMarkings(t *testing.T) {
+	brightCount := func(img *raster.RGB) int {
+		luma := img.Luma()
+		n := 0
+		for y := luma.H * 2 / 3; y < luma.H; y++ {
+			for x := 0; x < luma.W; x++ {
+				if luma.At(x, y) > 0.6 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	pose := func(r *Renderer) VehiclePose { return PoseOnTrack(r.Track, 10, 0, 0) }
+
+	base := NewRenderer(dayTrack(), testCam())
+	plain := base.RenderScene(pose(base))
+	if brightCount(plain) < 20 {
+		t.Fatal("baseline scene has no marking pixels to occlude")
+	}
+
+	occluded := NewRenderer(dayTrack(), testCam())
+	occluded.Occlude = func(s, lat float64) bool { return true }
+	gone := occluded.RenderScene(pose(occluded))
+	if n := brightCount(gone); n != 0 {
+		t.Fatalf("full occluder left %d bright marking pixels", n)
+	}
+
+	never := NewRenderer(dayTrack(), testCam())
+	never.Occlude = func(s, lat float64) bool { return false }
+	same := never.RenderScene(pose(never))
+	for i := range plain.R {
+		if plain.R[i] != same.R[i] || plain.G[i] != same.G[i] || plain.B[i] != same.B[i] {
+			t.Fatalf("never-firing occluder changed pixel %d", i)
+		}
+	}
+
+	// Patchy pure occluder: serial and 4-worker renders agree exactly.
+	patchy := func(s, lat float64) bool {
+		return fault.MarkingOccluded(s, lat, 0.5, fault.OcclusionSeed(9))
+	}
+	serial := NewRenderer(dayTrack(), testCam())
+	serial.Workers, serial.Occlude = 1, patchy
+	par := NewRenderer(dayTrack(), testCam())
+	par.Workers, par.Occlude = 4, patchy
+	a := serial.RenderScene(pose(serial))
+	b := par.RenderScene(pose(par))
+	for i := range a.R {
+		if a.R[i] != b.R[i] || a.G[i] != b.G[i] || a.B[i] != b.B[i] {
+			t.Fatalf("occluded render differs between 1 and 4 workers at pixel %d", i)
+		}
+	}
+	if brightCount(a) >= brightCount(plain) {
+		t.Fatal("patchy occluder did not thin the markings")
 	}
 }

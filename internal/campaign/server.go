@@ -151,6 +151,11 @@ type Server struct {
 	scanMBH   *obs.Histogram
 }
 
+// Cache exposes the server's content-addressed result cache, so
+// sibling services (the adversarial search endpoint) can run their jobs
+// against the same store and share warm results with queued campaigns.
+func (s *Server) Cache() Cache { return s.cache }
+
 // NewServer builds a Server; call Start to launch the executor.
 func NewServer(cfg ServerConfig) *Server {
 	if cfg.QueueSize <= 0 {

@@ -1,10 +1,16 @@
-// Deterministic image-corruption kernels. Both run serially on purpose:
-// they execute only on frames where a fault fires, and a single xorshift
-// stream keyed by FrameHash keeps the corrupted bytes identical for any
-// pipeline worker count.
+// Deterministic image-corruption kernels. The buffer-mutating ones run
+// serially on purpose: they execute only on frames where a fault fires,
+// and a single xorshift stream keyed by FrameHash keeps the corrupted
+// bytes identical for any pipeline worker count. MarkingOccluded is the
+// exception — it is a pure per-point predicate evaluated from inside
+// the row-parallel renderer.
 package fault
 
-import "hsas/internal/raster"
+import (
+	"math"
+
+	"hsas/internal/raster"
+)
 
 // xorshift64 advances a xorshift64* state; the caller seeds it with a
 // FrameHash so the stream is a pure function of (seed, frame).
@@ -64,4 +70,40 @@ func CorruptRGBBand(img *raster.RGB, frac float64, streamSeed uint64) {
 			img.B[i] = float32((x >> 2) & 1)
 		}
 	}
+}
+
+// Occluded lane-marking patch geometry: roughly the scale of real paint
+// wear — short stretches of marking flaking off, not single pixels and
+// not whole dashes.
+const (
+	occludePatchS   = 0.4  // patch length along the track arclength, m
+	occludePatchLat = 0.15 // patch width across the marking, m
+)
+
+// OcclusionSeed derives the run-constant stream seed for the occlusion
+// pattern. The pattern is fixed in world space for the whole run
+// (persistent paint damage) rather than per-frame: a flickering pattern
+// would average out across the detector's sliding window, while a
+// static one is the adversarial worst case the margin search is after.
+func OcclusionSeed(seed int64) uint64 { return hash64(seed, -1, 0x0CC1) }
+
+// MarkingOccluded reports whether the painted-marking patch at track
+// coordinates (s, lat) is occluded, given the occluded area fraction
+// frac and the run's OcclusionSeed. It is a pure function of its
+// arguments, so the row-parallel renderer stays byte-identical to the
+// serial one, and the occluded patch sets are NESTED across fractions:
+// every patch occluded at frac f is also occluded at any f' > f. That
+// nesting is what keeps the adversarial search's probe outcomes
+// monotone-shaped in the magnitude rather than jumping between
+// unrelated occlusion patterns.
+func MarkingOccluded(s, lat, frac float64, streamSeed uint64) bool {
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	si := int64(math.Floor(s / occludePatchS))
+	li := int(math.Floor(lat / occludePatchLat))
+	return rand01(hash64(si, li, streamSeed)) < frac
 }

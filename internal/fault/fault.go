@@ -2,8 +2,11 @@
 // closed-loop stack: it models the worst-case sensing and platform
 // faults the robustness claims must survive — camera frame drops,
 // sensor-noise bursts, ISP stage corruption, stuck-at / bit-flipped
-// classifier outputs and actuation deadline overruns — as a declarative
-// Schedule of frame-windowed (optionally probabilistic) events.
+// classifier outputs, actuation deadline overruns, correlated
+// multi-stage faults (one decision drives a coupled ISP corruption plus
+// classifier flip) and adversarial lane-marking occlusion in the
+// renderer — as a declarative Schedule of frame-windowed (optionally
+// probabilistic) events.
 //
 // Every random decision is drawn from a counter-based hash of
 // (run seed, frame index, event index), never from a shared stream, so
@@ -46,12 +49,25 @@ const (
 	// DeadlineOverrun stretches the sensor-to-actuation delay tau past
 	// its profiled value, possibly beyond the period h (missed deadline).
 	DeadlineOverrun
+	// Correlated is a multi-stage fault: a single per-frame firing
+	// decision drives BOTH an ISP band corruption (Mag = corrupted row
+	// fraction, like ISPCorrupt) and a bit flip of the targeted
+	// classifier — the coupled failure mode of a shared upstream cause
+	// (bus glitch, memory fault) that independent single-stage events
+	// cannot model. The coupling is exact because both injection points
+	// query the same pure fires() decision for the event.
+	Correlated
+	// LaneOcclude occludes a fraction of the painted lane-marking area at
+	// render time (patches repaint as bare asphalt): the adversarial
+	// perturbation of the perception input itself, not of the pipeline
+	// downstream of it. Mag is the occluded fraction of marking area.
+	LaneOcclude
 
 	// NumKinds is the number of fault classes.
-	NumKinds = int(DeadlineOverrun) + 1
+	NumKinds = int(LaneOcclude) + 1
 )
 
-var kindNames = [NumKinds]string{"drop", "noise", "isp", "stuck", "flip", "overrun"}
+var kindNames = [NumKinds]string{"drop", "noise", "isp", "stuck", "flip", "overrun", "corr", "occlude"}
 
 func (k Kind) String() string {
 	if int(k) < NumKinds {
@@ -62,7 +78,7 @@ func (k Kind) String() string {
 
 // Kinds lists all fault classes in declaration order.
 func Kinds() []Kind {
-	return []Kind{FrameDrop, NoiseBurst, ISPCorrupt, ClassStuck, ClassFlip, DeadlineOverrun}
+	return []Kind{FrameDrop, NoiseBurst, ISPCorrupt, ClassStuck, ClassFlip, DeadlineOverrun, Correlated, LaneOcclude}
 }
 
 // Target selects which situation classifier a ClassStuck / ClassFlip
@@ -96,13 +112,16 @@ type Event struct {
 	// deterministically from (seed, frame, event index). 0 means 1.0:
 	// the event fires on every frame of its window.
 	Prob float64
-	// Target selects the classifier for ClassStuck / ClassFlip.
+	// Target selects the classifier for ClassStuck / ClassFlip /
+	// Correlated.
 	Target Target
 	// Class is the stuck-at class for ClassStuck.
 	Class int
 	// Mag is the kind-specific magnitude: noise amplitude in normalized
-	// photosite units (NoiseBurst), corrupted row fraction (ISPCorrupt)
-	// or extra delay in milliseconds (DeadlineOverrun).
+	// photosite units (NoiseBurst), corrupted row fraction (ISPCorrupt
+	// and Correlated), extra delay in milliseconds (DeadlineOverrun) or
+	// occluded lane-marking fraction (LaneOcclude). It is the scalar the
+	// adversarial margin search (internal/adversarial) bisects over.
 	Mag float64
 }
 
@@ -273,15 +292,40 @@ func (in *Injector) Noise(frame int) (sigma float64, ok bool) {
 }
 
 // CorruptFrac returns the corrupted-row fraction for the frame's ISP
-// output (max over firing ISPCorrupt events) and whether any fired.
-func (in *Injector) CorruptFrac(frame int) (frac float64, ok bool) {
+// output (max over firing ISPCorrupt and Correlated events) and the
+// mask of kinds that contributed (zero when none fired). A Correlated
+// event contributing here fires its coupled classifier flip on the same
+// frame (see Class): both stages query the same pure per-event
+// decision.
+func (in *Injector) CorruptFrac(frame int) (frac float64, kinds Mask) {
+	if in == nil {
+		return 0, 0
+	}
+	for i := range in.events {
+		e := &in.events[i]
+		if (e.Kind != ISPCorrupt && e.Kind != Correlated) || !in.fires(i, frame) {
+			continue
+		}
+		in.counts[e.Kind]++
+		kinds.Add(e.Kind)
+		if e.Mag > frac {
+			frac = e.Mag
+		}
+	}
+	return frac, kinds
+}
+
+// Occlusion returns the occluded lane-marking fraction for the frame
+// (max over firing LaneOcclude events) and whether any fired. The
+// caller applies it at render time via MarkingOccluded.
+func (in *Injector) Occlusion(frame int) (frac float64, ok bool) {
 	if in == nil {
 		return 0, false
 	}
 	for i := range in.events {
 		e := &in.events[i]
-		if e.Kind == ISPCorrupt && in.fires(i, frame) {
-			in.counts[ISPCorrupt]++
+		if e.Kind == LaneOcclude && in.fires(i, frame) {
+			in.counts[LaneOcclude]++
 			ok = true
 			if e.Mag > frac {
 				frac = e.Mag
@@ -292,17 +336,18 @@ func (in *Injector) CorruptFrac(frame int) (frac float64, ok bool) {
 }
 
 // Class returns the faulted output of the targeted classifier given its
-// true output, which fault kind fired (ClassStuck or ClassFlip), and
-// whether one fired at all. ClassStuck pins the output to the event's
-// class; ClassFlip substitutes a different, hash-chosen class. With
-// numClasses < 2 a flip cannot change anything and does not fire.
+// true output, which fault kind fired (ClassStuck, ClassFlip or
+// Correlated), and whether one fired at all. ClassStuck pins the output
+// to the event's class; ClassFlip and the flip stage of Correlated
+// substitute a different, hash-chosen class. With numClasses < 2 a flip
+// cannot change anything and does not fire.
 func (in *Injector) Class(frame int, tgt Target, current, numClasses int) (int, Kind, bool) {
 	if in == nil {
 		return current, 0, false
 	}
 	for i := range in.events {
 		e := &in.events[i]
-		if e.Target != tgt || (e.Kind != ClassStuck && e.Kind != ClassFlip) {
+		if e.Target != tgt || (e.Kind != ClassStuck && e.Kind != ClassFlip && e.Kind != Correlated) {
 			continue
 		}
 		if !in.fires(i, frame) {
@@ -315,13 +360,17 @@ func (in *Injector) Class(frame int, tgt Target, current, numClasses int) (int, 
 		if numClasses < 2 {
 			continue
 		}
-		in.counts[ClassFlip]++
+		// A correlated firing is one event: it is tallied by the ISP
+		// stage (CorruptFrac), not again here.
+		if e.Kind == ClassFlip {
+			in.counts[ClassFlip]++
+		}
 		// Uniform over the numClasses-1 other classes.
 		c := int(hash64(in.seed, frame, uint64(i)^0xF11F) % uint64(numClasses-1))
 		if c >= current {
 			c++
 		}
-		return c, ClassFlip, true
+		return c, e.Kind, true
 	}
 	return current, 0, false
 }

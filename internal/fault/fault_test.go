@@ -20,8 +20,11 @@ func TestNilInjectorIsInert(t *testing.T) {
 	if _, ok := in.Noise(0); ok {
 		t.Fatal("nil injector fired noise")
 	}
-	if _, ok := in.CorruptFrac(0); ok {
+	if _, kinds := in.CorruptFrac(0); kinds != 0 {
 		t.Fatal("nil injector fired corruption")
+	}
+	if _, ok := in.Occlusion(0); ok {
+		t.Fatal("nil injector fired occlusion")
 	}
 	if c, _, ok := in.Class(0, Road, 2, 3); ok || c != 2 {
 		t.Fatalf("nil injector changed class: %d", c)
@@ -226,4 +229,135 @@ func TestCorruptionKernelsDeterministic(t *testing.T) {
 	CorruptRGBBand(raster.NewRGB(8, 4), 1.0, 1)
 	CorruptRGBBand(raster.NewRGB(8, 4), 2.5, 1) // clamped
 	CorruptRGBBand(raster.NewRGB(8, 4), 0, 1)   // one row
+}
+
+// TestCorrelatedCouplesStages: one Correlated event drives the ISP band
+// corruption and the classifier bit flip from the SAME per-frame firing
+// decision — they trigger on exactly the same frames.
+func TestCorrelatedCouplesStages(t *testing.T) {
+	s := &Schedule{Events: []Event{{Kind: Correlated, Target: Lane, Mag: 0.4, Prob: 0.3, Start: 10, End: 200}}}
+	in := NewInjector(s, 7)
+	fired, flipped := 0, 0
+	for f := 0; f < 250; f++ {
+		frac, kinds := in.CorruptFrac(f)
+		_, k, ok := in.Class(f, Lane, 1, 4)
+		if kinds.Has(Correlated) != ok {
+			t.Fatalf("frame %d: ISP stage fired=%v but flip stage fired=%v", f, kinds.Has(Correlated), ok)
+		}
+		if kinds.Has(Correlated) {
+			fired++
+			if frac != 0.4 {
+				t.Fatalf("frame %d: corrupt frac %g, want the event's Mag 0.4", f, frac)
+			}
+			if k != Correlated {
+				t.Fatalf("frame %d: flip reported kind %v, want corr", f, k)
+			}
+			if f < 10 || f >= 200 {
+				t.Fatalf("frame %d fired outside the window", f)
+			}
+		}
+		if ok {
+			flipped++
+		}
+		// The untargeted classifier never flips.
+		if _, _, rok := in.Class(f, Road, 1, 4); rok {
+			t.Fatalf("frame %d: correlated flip leaked to the road classifier", f)
+		}
+	}
+	if fired == 0 || fired == 190 {
+		t.Fatalf("p=0.3 over 190 frames fired %d times", fired)
+	}
+	if flipped != fired {
+		t.Fatalf("flips %d != corruptions %d", flipped, fired)
+	}
+	// One correlated firing is one event: tallied once (at the ISP
+	// stage), not once per coupled manifestation.
+	if n := in.Counts().Of(Correlated); n != int64(fired) {
+		t.Fatalf("counts[corr] = %d, want %d", n, fired)
+	}
+}
+
+// TestCorruptFracMergesKinds: an ISPCorrupt and a Correlated event on
+// the same frame merge into one mask with the max magnitude.
+func TestCorruptFracMergesKinds(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: ISPCorrupt, Mag: 0.2},
+		{Kind: Correlated, Target: Road, Mag: 0.6},
+	}}
+	in := NewInjector(s, 1)
+	frac, kinds := in.CorruptFrac(5)
+	if !kinds.Has(ISPCorrupt) || !kinds.Has(Correlated) {
+		t.Fatalf("mask %v missing a kind", kinds)
+	}
+	if frac != 0.6 {
+		t.Fatalf("frac %g, want max 0.6", frac)
+	}
+}
+
+// TestOcclusionQuery: the injector surfaces the occluded fraction over
+// its window, max-merged across events.
+func TestOcclusionQuery(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: LaneOcclude, Mag: 0.3, Start: 0, End: 50},
+		{Kind: LaneOcclude, Mag: 0.7, Start: 40, End: 60},
+	}}
+	in := NewInjector(s, 1)
+	for _, tc := range []struct {
+		frame int
+		frac  float64
+		ok    bool
+	}{{0, 0.3, true}, {45, 0.7, true}, {55, 0.7, true}, {60, 0, false}} {
+		frac, ok := in.Occlusion(tc.frame)
+		if frac != tc.frac || ok != tc.ok {
+			t.Fatalf("Occlusion(%d) = (%g, %v), want (%g, %v)", tc.frame, frac, ok, tc.frac, tc.ok)
+		}
+	}
+	if n := in.Counts().Of(LaneOcclude); n != 4 {
+		t.Fatalf("counts[occlude] = %d, want 4", n)
+	}
+}
+
+// TestMarkingOccludedProperties pins the occlusion predicate's
+// contract: pure, nested across fractions, and roughly calibrated —
+// the occluded area fraction tracks frac.
+func TestMarkingOccludedProperties(t *testing.T) {
+	seed := OcclusionSeed(42)
+	if MarkingOccluded(1, 0, 0, seed) || !MarkingOccluded(1, 0, 1, seed) {
+		t.Fatal("frac 0 and 1 must be never/always occluded")
+	}
+	n, hits30, hits60 := 0, 0, 0
+	for i := 0; i < 4000; i++ {
+		s := float64(i) * 0.17
+		lat := float64(i%40)*0.04 - 0.8 // spans negative lat too
+		a := MarkingOccluded(s, lat, 0.3, seed)
+		b := MarkingOccluded(s, lat, 0.6, seed)
+		if a && !b {
+			t.Fatalf("nesting violated at (%g, %g): occluded at 0.3 but not 0.6", s, lat)
+		}
+		if a != MarkingOccluded(s, lat, 0.3, seed) {
+			t.Fatal("predicate is not pure")
+		}
+		n++
+		if a {
+			hits30++
+		}
+		if b {
+			hits60++
+		}
+	}
+	if f := float64(hits30) / float64(n); f < 0.2 || f > 0.4 {
+		t.Errorf("frac 0.3 occluded %.2f of samples", f)
+	}
+	if f := float64(hits60) / float64(n); f < 0.5 || f > 0.7 {
+		t.Errorf("frac 0.6 occluded %.2f of samples", f)
+	}
+	// A different seed draws a different pattern.
+	diff := false
+	for i := 0; i < 200 && !diff; i++ {
+		s := float64(i) * 0.53
+		diff = MarkingOccluded(s, 0.05, 0.5, seed) != MarkingOccluded(s, 0.05, 0.5, OcclusionSeed(43))
+	}
+	if !diff {
+		t.Error("occlusion pattern ignores the seed")
+	}
 }

@@ -19,6 +19,11 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("drop@18446744073709551616-2")
 	f.Add("noise:mag=1e308@0-1")
 	f.Add("stuck:road=999999999999999999999")
+	f.Add("corr:lane,mag=0.4@100-200")
+	f.Add("corr:road,p=0.3;occlude:frac=0.35")
+	f.Add("occlude@10-")
+	f.Add("occlude:frac=1e-300")
+	f.Add("corr:scene=1")
 	f.Fuzz(func(t *testing.T, spec string) {
 		s, err := ParseSpec(spec)
 		if err != nil {
@@ -45,7 +50,11 @@ func FuzzParseSpec(f *testing.F) {
 			in.Noise(frame)
 			in.CorruptFrac(frame)
 			in.Class(frame, Road, 0, 3)
+			in.Class(frame, Lane, 0, 4)
 			in.Overrun(frame)
+			if frac, ok := in.Occlusion(frame); ok {
+				MarkingOccluded(12.3, 0.07, frac, OcclusionSeed(1))
+			}
 		}
 	})
 }

@@ -17,6 +17,14 @@ const (
 	// than any profiled period h, so an unparameterized overrun always
 	// exercises the missed-deadline watchdog.
 	DefaultOverrunMs = 50
+	// DefaultCorrelatedMag is the corrupted-row fraction of the ISP stage
+	// of a correlated fault (the coupled classifier flip has no
+	// magnitude).
+	DefaultCorrelatedMag = 0.25
+	// DefaultOccludeFrac is the occluded lane-marking area fraction of an
+	// occlusion fault: enough missing paint to visibly thin the detector's
+	// candidate set without erasing the lane outright.
+	DefaultOccludeFrac = 0.5
 )
 
 // ParseSpec parses the declarative fault-schedule text format used by
@@ -24,17 +32,18 @@ const (
 //
 //	spec   := event (';' event)*
 //	event  := kind [':' params] ['@' window]
-//	kind   := drop | noise | isp | stuck | flip | overrun
+//	kind   := drop | noise | isp | stuck | flip | overrun | corr | occlude
 //	params := param (',' param)*
 //	param  := key '=' value | target
 //	window := START '-' END | START '-' | START | '*'
 //
 // Windows are frame indices, END exclusive; a missing window or '*'
 // covers the whole run. Recognized params: p (per-frame probability,
-// default 1 = every frame of the window), mag (noise amplitude), rows
-// (corrupted row fraction), ms (extra delay), class (stuck-at class),
-// road/lane/scene (classifier target, bare or as target=class
-// shorthand). Examples:
+// default 1 = every frame of the window), mag (noise amplitude, or the
+// corrupted-row fraction of a correlated fault), rows (corrupted row
+// fraction), ms (extra delay), frac (occluded lane-marking fraction),
+// class (stuck-at class), road/lane/scene (classifier target, bare or
+// as target=class shorthand). Examples:
 //
 //	drop@120-180                  drop every frame in [120,180)
 //	drop:p=0.05                   drop 5% of all frames
@@ -43,6 +52,8 @@ const (
 //	stuck:road=0@50-250           road classifier stuck at class 0
 //	flip:lane,p=0.2               lane classifier bit-flips 20% of frames
 //	overrun:ms=30@300-400         tau stretched by 30 ms
+//	corr:lane,mag=0.4@100-200     coupled ISP band + lane-flip faults
+//	occlude:frac=0.35             35% of lane-marking paint missing
 //
 // ParseSpec never panics; malformed input returns an error.
 func ParseSpec(spec string) (*Schedule, error) {
@@ -97,7 +108,7 @@ func parseEvent(part string) (Event, error) {
 		}
 	}
 	if !found {
-		return e, fmt.Errorf("fault: %q: unknown kind %q (want drop|noise|isp|stuck|flip|overrun)", part, kind)
+		return e, fmt.Errorf("fault: %q: unknown kind %q (want drop|noise|isp|stuck|flip|overrun|corr|occlude)", part, kind)
 	}
 
 	switch e.Kind {
@@ -107,6 +118,10 @@ func parseEvent(part string) (Event, error) {
 		e.Mag = DefaultCorruptFrac
 	case DeadlineOverrun:
 		e.Mag = DefaultOverrunMs
+	case Correlated:
+		e.Mag = DefaultCorrelatedMag
+	case LaneOcclude:
+		e.Mag = DefaultOccludeFrac
 	}
 
 	haveTarget, haveClass := false, false
@@ -148,7 +163,7 @@ func parseEvent(part string) (Event, error) {
 					f = 0 // canonical "every frame", Event.Prob's zero value
 				}
 				e.Prob = f
-			case "mag", "rows", "ms":
+			case "mag", "rows", "ms", "frac":
 				if wantKey := magKey(e.Kind); key != wantKey {
 					return e, fmt.Errorf("fault: %q: parameter %q does not apply to %q", part, key, e.Kind)
 				}
@@ -170,15 +185,15 @@ func parseEvent(part string) (Event, error) {
 		}
 	}
 
-	if e.Kind == ClassStuck || e.Kind == ClassFlip {
+	if e.Kind == ClassStuck || e.Kind == ClassFlip || e.Kind == Correlated {
 		if !haveTarget {
 			return e, fmt.Errorf("fault: %q: %s needs a classifier target (road|lane|scene)", part, e.Kind)
 		}
 		if e.Kind == ClassStuck && !haveClass {
 			return e, fmt.Errorf("fault: %q: stuck needs a class (e.g. stuck:road=0)", part)
 		}
-		if e.Kind == ClassFlip && haveClass {
-			return e, fmt.Errorf("fault: %q: flip picks its own class; drop the =N", part)
+		if e.Kind != ClassStuck && haveClass {
+			return e, fmt.Errorf("fault: %q: %s picks its own class; drop the =N", part, e.Kind)
 		}
 	} else if haveTarget || haveClass {
 		return e, fmt.Errorf("fault: %q: classifier parameters do not apply to %q", part, e.Kind)
@@ -189,12 +204,14 @@ func parseEvent(part string) (Event, error) {
 // magKey returns the spec key for a kind's magnitude ("" = none).
 func magKey(k Kind) string {
 	switch k {
-	case NoiseBurst:
+	case NoiseBurst, Correlated:
 		return "mag"
 	case ISPCorrupt:
 		return "rows"
 	case DeadlineOverrun:
 		return "ms"
+	case LaneOcclude:
+		return "frac"
 	}
 	return ""
 }
@@ -258,7 +275,10 @@ func writeEventSpec(b *strings.Builder, e *Event) {
 		params = append(params, fmt.Sprintf("%s=%d", e.Target, e.Class))
 	case ClassFlip:
 		params = append(params, e.Target.String())
-	case NoiseBurst, ISPCorrupt, DeadlineOverrun:
+	case Correlated:
+		params = append(params, e.Target.String(),
+			fmt.Sprintf("%s=%s", magKey(e.Kind), strconv.FormatFloat(e.Mag, 'g', -1, 64)))
+	case NoiseBurst, ISPCorrupt, DeadlineOverrun, LaneOcclude:
 		params = append(params, fmt.Sprintf("%s=%s", magKey(e.Kind), strconv.FormatFloat(e.Mag, 'g', -1, 64)))
 	}
 	if e.Prob > 0 && e.Prob < 1 {

@@ -7,7 +7,7 @@ import (
 )
 
 func TestParseSpec(t *testing.T) {
-	sched, err := ParseSpec("drop@120-180; noise:mag=0.2,p=0.5@200-300;isp:rows=0.4@100-;stuck:road=1@50-250;flip:lane,p=0.2;overrun:ms=30@300-400;drop:p=0.05;stuck:scene=0@7")
+	sched, err := ParseSpec("drop@120-180; noise:mag=0.2,p=0.5@200-300;isp:rows=0.4@100-;stuck:road=1@50-250;flip:lane,p=0.2;overrun:ms=30@300-400;drop:p=0.05;stuck:scene=0@7;corr:lane,mag=0.4@100-200;occlude:frac=0.35")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,6 +20,8 @@ func TestParseSpec(t *testing.T) {
 		{Kind: DeadlineOverrun, Mag: 30, Start: 300, End: 400},
 		{Kind: FrameDrop, Prob: 0.05},
 		{Kind: ClassStuck, Target: Scene, Class: 0, Start: 7, End: 8},
+		{Kind: Correlated, Target: Lane, Mag: 0.4, Start: 100, End: 200},
+		{Kind: LaneOcclude, Mag: 0.35},
 	}
 	if !reflect.DeepEqual(sched.Events, want) {
 		t.Fatalf("parsed:\n%#v\nwant:\n%#v", sched.Events, want)
@@ -27,13 +29,15 @@ func TestParseSpec(t *testing.T) {
 }
 
 func TestParseSpecDefaults(t *testing.T) {
-	sched, err := ParseSpec("noise;isp;overrun")
+	sched, err := ParseSpec("noise;isp;overrun;corr:road;occlude")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sched.Events[0].Mag != DefaultNoiseMag ||
 		sched.Events[1].Mag != DefaultCorruptFrac ||
-		sched.Events[2].Mag != DefaultOverrunMs {
+		sched.Events[2].Mag != DefaultOverrunMs ||
+		sched.Events[3].Mag != DefaultCorrelatedMag ||
+		sched.Events[4].Mag != DefaultOccludeFrac {
 		t.Fatalf("defaults not applied: %+v", sched.Events)
 	}
 }
@@ -64,6 +68,12 @@ func TestParseSpecErrors(t *testing.T) {
 		"stuck:road=-1",       // negative class
 		"overrun:ms=ten",      // non-numeric ms
 		"drop:frames=3",       // unknown key
+		"corr@1-2",            // correlated without target
+		"corr:road=1",         // correlated picks its own class
+		"corr:road,frac=0.5",  // wrong magnitude key for corr
+		"occlude:lane",        // target on occlude
+		"occlude:mag=0.5",     // wrong magnitude key for occlude
+		"occlude:frac=-0.1",   // negative fraction
 		"stuck:road=1,lane=2", // double target is accepted? keep single-target semantics
 	} {
 		if spec == "stuck:road=1,lane=2" {
@@ -89,7 +99,11 @@ func TestSpecRoundTrip(t *testing.T) {
 		"stuck:road=1@50-250",
 		"flip:lane,p=0.2",
 		"overrun:ms=30@300-400",
-		"drop@120-180;noise:mag=0.2@1-2;flip:scene",
+		"corr:lane,mag=0.4@100-200",
+		"corr:road,p=0.3",
+		"occlude:frac=0.35",
+		"occlude@10-",
+		"drop@120-180;noise:mag=0.2@1-2;flip:scene;corr:scene;occlude:frac=0.9",
 	} {
 		s1, err := ParseSpec(spec)
 		if err != nil {
@@ -111,7 +125,7 @@ func TestSpecRoundTrip(t *testing.T) {
 }
 
 func TestKindAndTargetStrings(t *testing.T) {
-	if got := strings.Join([]string{FrameDrop.String(), NoiseBurst.String(), ISPCorrupt.String(), ClassStuck.String(), ClassFlip.String(), DeadlineOverrun.String()}, ","); got != "drop,noise,isp,stuck,flip,overrun" {
+	if got := strings.Join([]string{FrameDrop.String(), NoiseBurst.String(), ISPCorrupt.String(), ClassStuck.String(), ClassFlip.String(), DeadlineOverrun.String(), Correlated.String(), LaneOcclude.String()}, ","); got != "drop,noise,isp,stuck,flip,overrun,corr,occlude" {
 		t.Fatalf("kind names: %s", got)
 	}
 	if Kind(200).String() != "Kind(200)" || Target(9).String() != "Target(9)" {

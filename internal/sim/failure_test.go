@@ -154,6 +154,8 @@ func TestFaultMatrix(t *testing.T) {
 		{"stuck:road=0@30-", fault.ClassStuck},
 		{"flip:lane,p=0.5", fault.ClassFlip},
 		{"overrun:ms=60@20-80", fault.DeadlineOverrun},
+		{"corr:road,mag=0.4,p=0.5@20-90", fault.Correlated},
+		{"occlude:frac=0.6@30-", fault.LaneOcclude},
 	}
 	for _, tc := range cases {
 		t.Run(tc.spec, func(t *testing.T) {
@@ -347,5 +349,56 @@ func TestCustomPolicyInjection(t *testing.T) {
 	}
 	if res.Frames <= stock.Frames {
 		t.Fatalf("policy override did not change the pipeline: %d vs %d", res.Frames, stock.Frames)
+	}
+}
+
+// TestOcclusionDegradesDetection: with the lane paint fully occluded
+// the renderer draws bare asphalt where the markings were, so the
+// detector loses its measurement stream; with a zero fraction the run
+// is visually identical to fault-free.
+func TestOcclusionDegradesDetection(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	mk := func(spec string) Config {
+		cfg := Config{
+			Track:  world.SituationTrack(sit),
+			Camera: camera.Scaled(192, 96),
+			Case:   knobs.Case1,
+			Seed:   1,
+		}
+		if spec != "" {
+			sched, err := fault.ParseSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Faults = sched
+		}
+		return cfg
+	}
+
+	base, err := Run(mk(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := Run(mk("occlude:frac=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blind.DetectFails <= base.DetectFails {
+		t.Fatalf("full occlusion: DetectFails %d, fault-free baseline %d — occlusion did not blind the detector",
+			blind.DetectFails, base.DetectFails)
+	}
+	if blind.Faults.Of(fault.LaneOcclude) == 0 {
+		t.Fatal("no occlusion events counted")
+	}
+
+	// frac=0 must reproduce the fault-free imagery: the schedule still
+	// activates the degradation layer, but detection sees no occlusion.
+	clear, err := Run(mk("occlude:frac=0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clear.DetectFails != base.DetectFails || clear.MAE != base.MAE {
+		t.Fatalf("frac=0 drifted from fault-free: MAE %g vs %g, DetectFails %d vs %d",
+			clear.MAE, base.MAE, clear.DetectFails, base.DetectFails)
 	}
 }

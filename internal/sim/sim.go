@@ -402,6 +402,15 @@ func (r *runner) run() (*Result, error) {
 	inj := fault.NewInjector(cfg.Faults, cfg.Seed)
 	deg := newDegrade(&cfg)
 
+	// One occlusion closure for the whole run (the pattern is fixed in
+	// world space; only the area fraction varies per frame). Allocating it
+	// once keeps the per-frame path allocation-free.
+	occSeed := fault.OcclusionSeed(cfg.Seed)
+	occFrac := 0.0
+	occFn := func(sArc, lat float64) bool {
+		return fault.MarkingOccluded(sArc, lat, occFrac, occSeed)
+	}
+
 	for t := 0.0; t < cfg.MaxTimeS*1000; t += stepMs {
 		// ---- Actuation due at this instant (before a new capture may
 		// schedule the next command: tau ceiled to the step can land
@@ -494,8 +503,18 @@ func (r *runner) run() (*Result, error) {
 			// foreground, so turn handling is not released until the arc
 			// has actually passed beneath the vehicle.
 			truth := track.CameraSituationAhead(s, 0, cfg.PreviewM)
-			r.rend.RenderRAWInto(raw, camera.VehiclePose{X: plant.St.X, Y: plant.St.Y, Psi: plant.St.Psi, S: s}, cfg.Seed+int64(frame)*7919)
 			var fmask fault.Mask
+			// Adversarial lane-marking occlusion acts at render time: the
+			// renderer consults the pure world-space predicate, so the
+			// row-parallel render stays byte-identical to the serial one.
+			if f, ok := inj.Occlusion(frame); ok {
+				occFrac = f
+				r.rend.Occlude = occFn
+				fmask.Add(fault.LaneOcclude)
+			} else {
+				r.rend.Occlude = nil
+			}
+			r.rend.RenderRAWInto(raw, camera.VehiclePose{X: plant.St.X, Y: plant.St.Y, Psi: plant.St.Psi, S: s}, cfg.Seed+int64(frame)*7919)
 			if sigma, ok := inj.Noise(frame); ok {
 				fault.AddBayerNoise(raw, sigma, fault.FrameHash(cfg.Seed, frame))
 				fmask.Add(fault.NoiseBurst)
@@ -504,9 +523,9 @@ func (r *runner) run() (*Result, error) {
 				ts[1] = time.Now()
 			}
 			rgb := activeISP.ProcessObservedInto(raw, frameA, frameB, r.workers, oArg)
-			if frac, ok := inj.CorruptFrac(frame); ok {
+			if frac, kinds := inj.CorruptFrac(frame); kinds != 0 {
 				fault.CorruptRGBBand(rgb, frac, fault.FrameHash(cfg.Seed, frame))
-				fmask.Add(fault.ISPCorrupt)
+				fmask |= kinds
 			}
 			if instrumented {
 				ts[2] = time.Now()
