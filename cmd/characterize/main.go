@@ -62,6 +62,7 @@ func parseCLI(args []string, errOut io.Writer) (*cliConfig, error) {
 	height := fs.Int("height", 128, "camera height for the sweep runs")
 	situations := fs.String("situations", "", "comma-separated 1-based situation indices (default all 21)")
 	isps := fs.String("isps", "", "comma-separated ISP candidates (default S0..S8)")
+	precisions := fs.String("precisions", "", "comma-separated classifier precision knob values to sweep: fp32, int8 (default fp32 only)")
 	full := fs.Bool("full", false, "sweep all ROIs and speeds too (much slower)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress")
@@ -139,6 +140,15 @@ func parseCLI(args []string, errOut io.Writer) (*cliConfig, error) {
 		default:
 			return nil, fmt.Errorf("bad -adv-format %q: want table, csv or json", *advFormat)
 		}
+		// Fail fast on a degenerate search space: an inverted or empty
+		// magnitude range would bisect nothing (or diverge), and a
+		// negative tolerance can never terminate the bisection.
+		if *advLo >= *advHi {
+			return nil, fmt.Errorf("bad magnitude range: -adv-lo %g must be below -adv-hi %g", *advLo, *advHi)
+		}
+		if *advTol < 0 {
+			return nil, fmt.Errorf("bad -adv-tol %g: tolerance must be non-negative (0 = range/64)", *advTol)
+		}
 		c.adversarial = true
 		c.advFormat = *advFormat
 		c.adv.Width = *width
@@ -168,6 +178,15 @@ func parseCLI(args []string, errOut io.Writer) (*cliConfig, error) {
 				return nil, fmt.Errorf("bad -isps candidate %q: want one of %s", id, ispIDList())
 			}
 			c.char.ISPCandidates = append(c.char.ISPCandidates, id)
+		}
+	}
+	if *precisions != "" {
+		for _, tok := range strings.Split(*precisions, ",") {
+			p, err := knobs.ParsePrecision(strings.TrimSpace(tok))
+			if err != nil {
+				return nil, fmt.Errorf("bad -precisions entry %q: want fp32 or int8", strings.TrimSpace(tok))
+			}
+			c.char.Precisions = append(c.char.Precisions, p)
 		}
 	}
 	return c, nil

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"hsas/internal/knobs"
 	"hsas/internal/world"
 )
 
@@ -30,6 +31,14 @@ func TestParseCLIRejectsBadFlags(t *testing.T) {
 		{"adversarial with sensitivity", []string{"-adversarial", "-sensitivity"}, "mutually exclusive"},
 		{"bad adv format", []string{"-adversarial", "-adv-format", "xml"}, "bad -adv-format"},
 		{"bad adv cases", []string{"-adversarial", "-adv-cases", "1,x"}, "bad -adv-cases"},
+		// Degenerate bisection ranges: an inverted or empty magnitude
+		// window and a negative tolerance must fail at the flag, not hang
+		// or return nonsense margins after a full sweep.
+		{"adv inverted range", []string{"-adversarial", "-adv-lo", "0.9", "-adv-hi", "0.1"}, "bad magnitude range"},
+		{"adv empty range", []string{"-adversarial", "-adv-lo", "0.5", "-adv-hi", "0.5"}, "must be below"},
+		{"adv negative tol", []string{"-adversarial", "-adv-tol", "-0.01"}, "bad -adv-tol"},
+		{"bad precision", []string{"-precisions", "int4"}, `bad -precisions entry "int4"`},
+		{"precision typo", []string{"-precisions", "fp32, float16"}, "want fp32 or int8"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -71,6 +80,38 @@ func TestParseCLIBuildsExpectedConfig(t *testing.T) {
 	}
 	if len(c.char.ISPCandidates) != 2 || c.char.ISPCandidates[0] != "S0" || c.char.ISPCandidates[1] != "S3" {
 		t.Fatalf("isps = %v", c.char.ISPCandidates)
+	}
+}
+
+// TestParseCLIPrecisions: the -precisions flag feeds the characterization
+// sweep in canonical form ("" for fp32 so cache keys predate the knob,
+// "int8" for the quantized path), and the default leaves the axis empty
+// (fp32-only sweep, byte-identical cache keys).
+func TestParseCLIPrecisions(t *testing.T) {
+	c, err := parseCLI(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.char.Precisions) != 0 {
+		t.Fatalf("default precisions = %v, want none", c.char.Precisions)
+	}
+
+	c, err = parseCLI([]string{"-precisions", "fp32, int8"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.char.Precisions) != 2 || c.char.Precisions[0] != knobs.PrecisionFP32 ||
+		c.char.Precisions[1] != knobs.PrecisionInt8 {
+		t.Fatalf("precisions = %q, want [%q %q]", c.char.Precisions, knobs.PrecisionFP32, knobs.PrecisionInt8)
+	}
+
+	// Alternative fp32 spelling canonicalizes to the same value.
+	c, err = parseCLI([]string{"-precisions", "float32"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.char.Precisions) != 1 || c.char.Precisions[0] != knobs.PrecisionFP32 {
+		t.Fatalf("float32 canonicalized to %q", c.char.Precisions)
 	}
 }
 

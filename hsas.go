@@ -131,6 +131,21 @@ const (
 	CaseVariable = knobs.CaseVariable
 )
 
+// Classifier arithmetic-precision knob values. PrecisionFP32 is the
+// canonical empty string so settings predating the knob keep their
+// content addresses; ParsePrecision canonicalizes the accepted
+// spellings ("", "fp32", "float32", "int8") and PrecisionName renders
+// the canonical form for humans ("fp32"/"int8").
+const (
+	PrecisionFP32 = knobs.PrecisionFP32
+	PrecisionInt8 = knobs.PrecisionInt8
+)
+
+var (
+	ParsePrecision = knobs.ParsePrecision
+	PrecisionName  = knobs.PrecisionName
+)
+
 // PaperTable returns Table III as a lookup table.
 var PaperTable = knobs.PaperTable
 
@@ -445,7 +460,23 @@ var (
 	DefaultTrainConfig   = cnn.DefaultTrainConfig
 	DatasetConfigFor     = classifier.DatasetConfigFor
 	TrainConfigFor       = classifier.TrainConfigFor
+	// GenerateDataset renders a labeled synthetic dataset for one
+	// classifier kind — the eval-set builder for accuracy/agreement
+	// checks outside the training loop.
+	GenerateDataset = classifier.Generate
 )
+
+// QuantizedNetwork is the int8 inference form of a trained CNN:
+// per-tensor symmetric quantize-after-training with exact int32
+// accumulation, so inference is bit-deterministic for any worker count.
+// Classifier.SetPrecision(PrecisionInt8) builds one lazily; Quantize
+// converts a trained network directly.
+type QuantizedNetwork = cnn.QNet
+
+// Quantize converts a trained float32 network to its int8 inference
+// form (the tentpole of the precision knob: ~2.5× faster classifier
+// inference at zero allocations per call).
+var Quantize = cnn.Quantize
 
 // ApproxQuality is one point of the ISP latency-vs-quality frontier (the
 // approximation trade-off of reference [8] that the characterization

@@ -12,6 +12,7 @@
 package approx
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -98,6 +99,40 @@ type Quality struct {
 	XavierMs float64
 	PSNRdB   float64
 	SSIM     float64
+}
+
+// PSNRCapdB is the JSON sentinel for an unbounded PSNR: identical images
+// (the S0-vs-S0 frontier point) have zero MSE and +Inf dB, which
+// encoding/json rejects. JSON surfaces clamp PSNR to ±PSNRCapdB —
+// comfortably above any real pipeline's ~50 dB, so finite scores are
+// never touched.
+const PSNRCapdB = 999
+
+// jsonSafe maps the IEEE specials encoding/json cannot represent to
+// finite sentinels: ±Inf clamps to ±PSNRCapdB, NaN (undefined score)
+// encodes as 0. Finite values pass through unchanged.
+func jsonSafe(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return PSNRCapdB
+	case math.IsInf(v, -1):
+		return -PSNRCapdB
+	}
+	return v
+}
+
+// MarshalJSON encodes the quality point with JSON-safe metrics (see
+// jsonSafe): approx.Sweep legitimately produces a +Inf PSNR for the S0
+// reference scored against itself, and a raw Marshal of that value would
+// fail the whole frontier encoding.
+func (q Quality) MarshalJSON() ([]byte, error) {
+	type plain Quality // drop the method to avoid recursion
+	p := plain(q)
+	p.PSNRdB = jsonSafe(p.PSNRdB)
+	p.SSIM = jsonSafe(p.SSIM)
+	return json.Marshal(p)
 }
 
 // Sweep processes the RAW mosaic with every Table II configuration and

@@ -1,6 +1,7 @@
 package approx
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -124,6 +125,51 @@ func TestSweepFrontier(t *testing.T) {
 	for _, id := range []string{"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"} {
 		if math.IsInf(byID[id].PSNRdB, 1) {
 			t.Fatalf("%s scored as identical to S0", id)
+		}
+	}
+
+	// Regression: the whole frontier — including S0's +Inf PSNR — must be
+	// JSON-encodable (encoding/json rejects raw IEEE specials).
+	b, err := json.Marshal(quals)
+	if err != nil {
+		t.Fatalf("frontier not JSON-encodable: %v", err)
+	}
+	var decoded []Quality
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range decoded {
+		if q.ID == "S0" && q.PSNRdB != PSNRCapdB {
+			t.Fatalf("S0 PSNR encoded as %v, want the %v sentinel", q.PSNRdB, float64(PSNRCapdB))
+		}
+		if q.ID != "S0" && q.PSNRdB != quals[i].PSNRdB {
+			t.Fatalf("%s finite PSNR %v mangled to %v", q.ID, quals[i].PSNRdB, q.PSNRdB)
+		}
+	}
+}
+
+// TestQualityMarshalSentinels pins the ±Inf/NaN → sentinel mapping of
+// the JSON encoding element-wise.
+func TestQualityMarshalSentinels(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{math.Inf(1), PSNRCapdB},
+		{math.Inf(-1), -PSNRCapdB},
+		{math.NaN(), 0},
+		{42.5, 42.5},
+	}
+	for _, c := range cases {
+		b, err := json.Marshal(Quality{ID: "S0", PSNRdB: c.in, SSIM: c.in})
+		if err != nil {
+			t.Fatalf("Marshal(PSNR=%v) failed: %v", c.in, err)
+		}
+		var q Quality
+		if err := json.Unmarshal(b, &q); err != nil {
+			t.Fatal(err)
+		}
+		if q.PSNRdB != c.want || q.SSIM != c.want {
+			t.Fatalf("PSNR=%v encoded as PSNR=%v SSIM=%v, want %v", c.in, q.PSNRdB, q.SSIM, c.want)
 		}
 	}
 }

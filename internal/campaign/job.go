@@ -139,6 +139,15 @@ func (j JobSpec) Normalize() (JobSpec, error) {
 		if f.SpeedKmph <= 0 {
 			return j, fmt.Errorf("campaign: fixed setting speed %g must be positive", f.SpeedKmph)
 		}
+		// Canonicalize the precision knob ("fp32"/"float32" → ""), so two
+		// spellings of the same run share one content address — and the
+		// canonical float32 empty string keeps pre-precision cache keys
+		// byte-identical.
+		p, err := knobs.ParsePrecision(f.Precision)
+		if err != nil {
+			return j, fmt.Errorf("campaign: fixed setting: %w", err)
+		}
+		f.Precision = p
 		if j.FixedClassifiers < 0 || j.FixedClassifiers > 3 {
 			return j, fmt.Errorf("campaign: fixed_classifiers %d outside 0–3", j.FixedClassifiers)
 		}

@@ -152,3 +152,41 @@ func TestJobResultSector(t *testing.T) {
 		}
 	}
 }
+
+// TestKeyPrecisionCanonicalAndDiscriminating: the precision knob's fp32
+// spellings all hash to the address of the pre-knob spec (so existing
+// caches stay warm), while int8 gets its own address.
+func TestKeyPrecisionCanonicalAndDiscriminating(t *testing.T) {
+	mk := func(p string) JobSpec {
+		s := testSetting()
+		s.Precision = p
+		return JobSpec{Situation: testSit(), Camera: camera.Scaled(192, 96), Fixed: s, Seed: 1}
+	}
+
+	kDefault, err := mk("").Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spelling := range []string{"fp32", "float32"} {
+		k, err := mk(spelling).Key()
+		if err != nil {
+			t.Fatalf("%q: %v", spelling, err)
+		}
+		if k != kDefault {
+			t.Fatalf("fp32 spelling %q hashed to %s, want the pre-knob address %s", spelling, k, kDefault)
+		}
+	}
+
+	kInt8, err := mk("int8").Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kInt8 == kDefault {
+		t.Fatal("int8 spec shares the fp32 cache address")
+	}
+
+	// Unknown precisions fail at Normalize, before any simulation.
+	if _, err := mk("int4").Normalize(); err == nil || !strings.Contains(err.Error(), "precision") {
+		t.Fatalf("bad precision not rejected: %v", err)
+	}
+}

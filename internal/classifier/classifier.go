@@ -15,6 +15,7 @@ import (
 	"hsas/internal/camera"
 	"hsas/internal/cnn"
 	"hsas/internal/isp"
+	"hsas/internal/knobs"
 	"hsas/internal/obs"
 	"hsas/internal/raster"
 	"hsas/internal/world"
@@ -263,10 +264,61 @@ type Classifier struct {
 	InW, InH     int
 	WhiteBalance bool
 
+	// precision is the canonical arithmetic-precision knob value Classify
+	// runs at (knobs.PrecisionFP32 or knobs.PrecisionInt8); qnet is the
+	// quantized companion network, built on the first switch to int8.
+	precision string
+	qnet      *cnn.QNet
+	// kernelWorkers remembers the last SetKernelWorkers bound so a
+	// lazily-built qnet inherits it.
+	kernelWorkers int
+	workersSet    bool
+
 	// Inference scratch, lazily sized on first Classify.
 	resized *raster.RGB
 	wb      *raster.RGB
 	input   *cnn.Tensor
+}
+
+// SetPrecision selects the arithmetic precision Classify runs at:
+// knobs.PrecisionFP32 (also "fp32"/"float32") for the float32 network,
+// knobs.PrecisionInt8 for the quantize-after-training int8 path. The
+// quantized companion network is built once, on the first switch to
+// int8, from the trained float32 weights; switching back and forth
+// afterwards is free.
+func (c *Classifier) SetPrecision(p string) error {
+	canon, err := knobs.ParsePrecision(p)
+	if err != nil {
+		return fmt.Errorf("classifier: %w", err)
+	}
+	if canon == knobs.PrecisionInt8 && c.qnet == nil {
+		q, err := cnn.Quantize(c.Net)
+		if err != nil {
+			return fmt.Errorf("classifier: quantizing %v classifier: %w", c.Kind, err)
+		}
+		if c.workersSet {
+			q.SetKernelWorkers(c.kernelWorkers)
+		}
+		c.qnet = q
+	}
+	c.precision = canon
+	return nil
+}
+
+// Precision returns the canonical precision Classify currently runs at.
+func (c *Classifier) Precision() string { return c.precision }
+
+// SetKernelWorkers bounds the goroutines used by the classifier's GEMM
+// kernels on both precision paths (see cnn.Network.SetKernelWorkers for
+// the 0 / negative conventions). Results are bit-identical for any
+// worker count.
+func (c *Classifier) SetKernelWorkers(n int) {
+	c.kernelWorkers = n
+	c.workersSet = true
+	c.Net.SetKernelWorkers(n)
+	if c.qnet != nil {
+		c.qnet.SetKernelWorkers(n)
+	}
 }
 
 // Report summarizes a training run (our analog of a Table IV row).
@@ -378,6 +430,9 @@ func (c *Classifier) Classify(img *raster.RGB) int {
 	}
 	if c.input == nil || c.input.H != img.H || c.input.W != img.W {
 		c.input = cnn.NewTensor(3, img.H, img.W)
+	}
+	if c.precision == knobs.PrecisionInt8 {
+		return c.qnet.Infer(toTensorInto(c.input, img))
 	}
 	return c.Net.Infer(toTensorInto(c.input, img))
 }

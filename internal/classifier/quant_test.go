@@ -1,0 +1,133 @@
+package classifier
+
+import (
+	"testing"
+
+	"hsas/internal/cnn"
+	"hsas/internal/knobs"
+	"hsas/internal/raster"
+)
+
+// TestSetPrecisionValidation: the precision knob accepts every spelling
+// ParsePrecision knows and rejects everything else without touching the
+// classifier's state.
+func TestSetPrecisionValidation(t *testing.T) {
+	net, err := cnn.ResNetLite(3, 16, 32, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Classifier{Kind: Road, Net: net, InW: 32, InH: 16}
+	if err := c.SetPrecision("int4"); err == nil {
+		t.Fatal("bogus precision accepted")
+	}
+	if c.Precision() != knobs.PrecisionFP32 {
+		t.Fatalf("failed SetPrecision mutated precision to %q", c.Precision())
+	}
+	for _, spelling := range []string{"", "fp32", "float32"} {
+		if err := c.SetPrecision(spelling); err != nil {
+			t.Fatalf("SetPrecision(%q): %v", spelling, err)
+		}
+		if c.Precision() != knobs.PrecisionFP32 {
+			t.Fatalf("SetPrecision(%q) canonicalized to %q", spelling, c.Precision())
+		}
+	}
+	if err := c.SetPrecision("int8"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Precision() != knobs.PrecisionInt8 {
+		t.Fatalf("precision = %q after int8", c.Precision())
+	}
+	// Switching back and forth must work: the paper's runtime manager
+	// reconfigures knobs per detected situation.
+	if err := c.SetPrecision("fp32"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Precision() != knobs.PrecisionFP32 {
+		t.Fatalf("precision = %q after fp32", c.Precision())
+	}
+}
+
+// TestQuantizedLabelAgreement is the golden accuracy gate of the
+// quantized path: for each classifier kind, train briefly, quantize, and
+// compare int8 labels against float32 on a held-out eval set generated
+// with a different seed. Quantization noise may flip a label near a
+// decision boundary, but disagreement must stay within 1%.
+func TestQuantizedLabelAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short")
+	}
+	for _, kind := range []Kind{Road, Lane, Scene} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dcfg := DatasetConfig{N: 150, InW: 32, InH: 16, Seed: 3, ISPConfig: "S0"}
+			tcfg := cnn.DefaultTrainConfig()
+			tcfg.Epochs = 4
+			c, _, err := Train(kind, dcfg, tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Fresh eval set, different seed: agreement is measured on
+			// images the training loop never saw.
+			eval := Generate(kind, DatasetConfig{N: 120, InW: 32, InH: 16, Seed: 41, ISPConfig: "S0"})
+
+			fp32 := make([]int, len(eval))
+			for i, s := range eval {
+				fp32[i] = c.Net.Infer(s.X)
+			}
+
+			if err := c.SetPrecision(knobs.PrecisionInt8); err != nil {
+				t.Fatal(err)
+			}
+			q, err := cnn.Quantize(c.Net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			disagree := 0
+			for i, s := range eval {
+				if q.Infer(s.X) != fp32[i] {
+					disagree++
+				}
+			}
+			frac := float64(disagree) / float64(len(eval))
+			t.Logf("%s: %d/%d int8 label disagreements (%.2f%%)", kind, disagree, len(eval), 100*frac)
+			if frac > 0.01 {
+				t.Fatalf("%s: int8 disagrees with float32 on %d/%d labels (%.2f%% > 1%%)",
+					kind, disagree, len(eval), 100*frac)
+			}
+
+			// SetPrecision must not have mutated the float32 network.
+			for i, s := range eval {
+				if c.Net.Infer(s.X) != fp32[i] {
+					t.Fatalf("sample %d: float32 path changed after quantization", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSetKernelWorkersReachesQuantizedPath: a worker bound set before
+// quantization must carry over to the lazily-built QNet, and one set
+// after must reach both networks; Classify dispatches to whichever
+// precision is active without panicking on either path.
+func TestSetKernelWorkersReachesQuantizedPath(t *testing.T) {
+	net, err := cnn.ResNetLite(3, 16, 32, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Classifier{Kind: Road, Net: net, InW: 32, InH: 16}
+	c.SetKernelWorkers(1) // before quantization: must be remembered
+	if err := c.SetPrecision(knobs.PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	c.SetKernelWorkers(2) // after: must reach the live QNet too
+	img := raster.NewRGB(64, 32)
+	if pred := c.Classify(img); pred < 0 || pred >= 3 {
+		t.Fatalf("int8 prediction out of range: %d", pred)
+	}
+	if err := c.SetPrecision(knobs.PrecisionFP32); err != nil {
+		t.Fatal(err)
+	}
+	if pred := c.Classify(img); pred < 0 || pred >= 3 {
+		t.Fatalf("fp32 prediction out of range: %d", pred)
+	}
+}

@@ -9,9 +9,10 @@ import (
 // Benchmarks for the CNN compute engine. The /naive variants run the
 // retained reference kernels from reference.go; /gemm is the lowered
 // serial path (the steady-state frame-cycle configuration, 0 allocs/op
-// after warm-up); /par adds intra-layer GEMM parallelism. CI smoke-runs
-// BenchmarkInfer and BenchmarkTrainEpoch with an allocs/op guard on the
-// gemm Infer variants.
+// after warm-up); /par adds intra-layer GEMM parallelism; /int8 is the
+// quantized serial path (quant.go), the ≥2×-over-/gemm target BENCH.md
+// tracks. CI smoke-runs BenchmarkInfer and BenchmarkTrainEpoch with an
+// allocs/op guard on the gemm and int8 Infer variants.
 
 // classifierShapes are the three paper classifier input geometries
 // (Table IV): road 48×24/3, lane 80×40/4, scene 48×24/5, all RGB.
@@ -44,6 +45,19 @@ func BenchmarkInfer(b *testing.B) {
 		}
 		run("gemm", func() { net.SetKernelWorkers(-1) })
 		run("par", func() { net.SetKernelWorkers(0) })
+		qnet, err := Quantize(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sh.name+"/int8", func(b *testing.B) {
+			qnet.SetKernelWorkers(-1)
+			qnet.Infer(x) // warm up layer caches so steady state is measured
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qnet.Infer(x)
+			}
+		})
 		b.Run(sh.name+"/naive", func(b *testing.B) {
 			refNetInfer(net, x) // warm pooled buffers of non-GEMM layers
 			b.ReportAllocs()

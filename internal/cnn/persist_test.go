@@ -1,8 +1,11 @@
 package cnn
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -49,4 +52,122 @@ func TestPersistTrainedRoundTrip(t *testing.T) {
 			t.Fatalf("sample %d: reloaded Infer = %d, original = %d", i, got, want)
 		}
 	}
+}
+
+// snapshotBytes builds a small trained snapshot and returns its gob
+// encoding plus the decoded Snapshot for mutation-based corruption tests.
+func snapshotBytes(t testing.TB) ([]byte, Snapshot) {
+	t.Helper()
+	net, err := ResNetLite(1, 8, 8, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), snap
+}
+
+func encodeSnapshot(t testing.TB, snap Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadRejectsCorruptSnapshots: every class of on-disk corruption —
+// truncation, junk bytes, wrong architecture, absurd geometry, missing
+// or extra weight tensors, tampered weights with stale scales — must
+// error cleanly, never panic or silently mis-infer.
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	raw, snap := snapshotBytes(t)
+
+	mutate := func(f func(Snapshot) Snapshot) []byte {
+		// Re-decode for a deep-enough copy: f may mutate slices.
+		var s Snapshot
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return encodeSnapshot(t, f(s))
+	}
+
+	tests := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"empty file", nil, "decode snapshot"},
+		{"truncated gob", raw[:len(raw)/2], "decode snapshot"},
+		{"junk bytes", []byte("not a gob stream"), "decode snapshot"},
+		{"wrong arch", mutate(func(s Snapshot) Snapshot { s.Arch = "vgg99"; return s }), `unknown architecture "vgg99"`},
+		{"zero classes", mutate(func(s Snapshot) Snapshot { s.Classes = 0; return s }), "Classes = 0"},
+		{"negative height", mutate(func(s Snapshot) Snapshot { s.InH = -4; return s }), "InH = -4"},
+		{"absurd width", mutate(func(s Snapshot) Snapshot { s.InW = 1 << 20; return s }), "InW"},
+		{"weights missing", mutate(func(s Snapshot) Snapshot { s.Weights = s.Weights[:len(s.Weights)-1]; s.Scales = nil; return s }), "weight list too short"},
+		{"weight length wrong", mutate(func(s Snapshot) Snapshot { s.Weights[0] = s.Weights[0][:1]; s.Scales = nil; return s }), "weight 0 has 1 values"},
+		{"extra tensor", mutate(func(s Snapshot) Snapshot { s.Weights = append(s.Weights, []float32{1}); s.Scales = nil; return s }), "extra weight tensors"},
+		{"scale count wrong", mutate(func(s Snapshot) Snapshot { s.Scales = s.Scales[:1]; return s }), "quantization scales"},
+		{"tampered weight stale scale", mutate(func(s Snapshot) Snapshot {
+			// Inflate the largest-magnitude position of tensor 0 so the
+			// recomputed Scale8 disagrees with the persisted calibration.
+			s.Weights[0][0] = 1e6
+			return s
+		}), "weights corrupted"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Sanity: the unmutated bytes still load, so the cases above fail for
+	// the injected corruption and not a broken fixture.
+	if _, err := Load(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	_ = snap
+}
+
+// TestLoadAcceptsPreQuantizationSnapshot: snapshots written before the
+// Scales field existed (empty Scales) still load — the calibration is a
+// pure function of the weights and is recomputed.
+func TestLoadAcceptsPreQuantizationSnapshot(t *testing.T) {
+	raw, _ := snapshotBytes(t)
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	s.Scales = nil
+	if _, err := Load(bytes.NewReader(encodeSnapshot(t, s))); err != nil {
+		t.Fatalf("pre-quantization snapshot rejected: %v", err)
+	}
+}
+
+// FuzzLoad: Load must never panic or over-allocate on arbitrary bytes —
+// every outcome is either a valid network or a clean error.
+func FuzzLoad(f *testing.F) {
+	raw, _ := snapshotBytes(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/3])
+	f.Add([]byte("not a gob stream"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Load(bytes.NewReader(data))
+		if err == nil && n == nil {
+			t.Fatal("Load returned nil network with nil error")
+		}
+	})
 }

@@ -44,6 +44,13 @@ type CharacterizeConfig struct {
 	Situations []world.Situation
 	// ISPCandidates to sweep; defaults to all of Table II (S0–S8).
 	ISPCandidates []string
+	// Precisions lists the classifier arithmetic-precision knob values to
+	// sweep per ISP candidate (any spelling knobs.ParsePrecision accepts).
+	// The default sweeps float32 only, keeping the sweep — and its
+	// campaign cache keys — identical to the pre-precision flow; add
+	// knobs.PrecisionInt8 to let the characterization weigh the quantized
+	// path's latency win against its accuracy cost per situation.
+	Precisions []string
 	// FullROISweep also sweeps all five ROIs instead of pruning to the
 	// layout-appropriate candidates, and both speeds instead of the
 	// layout rule. The pruned sweep mirrors the paper's Monte-Carlo
@@ -122,16 +129,23 @@ func (r *Result) Table() knobs.Table {
 }
 
 // FormatTable renders the result in the shape of the paper's Table III.
+// When a precision other than the float32 default won a row, the ISP
+// column carries a "/int8"-style marker so the quantized wins read off
+// the table directly.
 func (r *Result) FormatTable() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-4s %-38s %-5s %-5s %-18s %-8s\n", "Sit", "Situation Details", "ISP", "PR", "Tc [v, h, tau]", "MAE")
+	fmt.Fprintf(&sb, "%-4s %-38s %-9s %-5s %-18s %-8s\n", "Sit", "Situation Details", "ISP", "PR", "Tc [v, h, tau]", "MAE")
 	for i, e := range r.Entries {
 		crash := ""
 		if e.Best.Crashed {
 			crash = " CRASH"
 		}
-		fmt.Fprintf(&sb, "%-4d %-38s %-5s ROI %d [%g, %g, %.1f]      %.4f%s\n",
-			i+1, e.Situation.String(), e.Best.Setting.ISP, e.Best.Setting.ROI,
+		ispCol := e.Best.Setting.ISP
+		if p := e.Best.Setting.Precision; p != knobs.PrecisionFP32 {
+			ispCol += "/" + knobs.PrecisionName(p)
+		}
+		fmt.Fprintf(&sb, "%-4d %-38s %-9s ROI %d [%g, %g, %.1f]      %.4f%s\n",
+			i+1, e.Situation.String(), ispCol, e.Best.Setting.ROI,
 			e.Best.Setting.SpeedKmph, e.Best.HMs, e.Best.TauMs, e.Best.MAE, crash)
 	}
 	return sb.String()
@@ -153,6 +167,19 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 	}
 	if cfg.ISPCandidates == nil {
 		cfg.ISPCandidates = []string{"S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"}
+	}
+	if len(cfg.Precisions) == 0 {
+		cfg.Precisions = []string{knobs.PrecisionFP32}
+	} else {
+		canon := make([]string, len(cfg.Precisions))
+		for i, p := range cfg.Precisions {
+			cp, err := knobs.ParsePrecision(p)
+			if err != nil {
+				return nil, fmt.Errorf("core: characterize: %w", err)
+			}
+			canon[i] = cp
+		}
+		cfg.Precisions = canon
 	}
 	if cfg.Camera.Width == 0 {
 		cfg.Camera = camera.Scaled(256, 128)
@@ -179,19 +206,21 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 		setting    knobs.Setting
 		evalSector int
 	}
+	type timingKey struct{ isp, precision string }
 	var jobs []campaign.JobSpec
 	var metas []jobMeta
-	timings := map[string]platform.Timing{}
+	timings := map[timingKey]platform.Timing{}
 	for _, sit := range cfg.Situations {
 		sit := sit
 		evalSector := world.SituationEvalSector(sit)
 		for _, setting := range candidateSettings(sit, cfg) {
-			if _, ok := timings[setting.ISP]; !ok {
-				tm, err := xavier.TimingFor(setting.ISP, 3)
+			tk := timingKey{setting.ISP, setting.Precision}
+			if _, ok := timings[tk]; !ok {
+				tm, err := xavier.TimingForPrecision(setting.ISP, 3, setting.Precision)
 				if err != nil {
 					return nil, fmt.Errorf("core: characterize %v with %v: %w", sit, setting, err)
 				}
-				timings[setting.ISP] = tm
+				timings[tk] = tm
 			}
 			setting := setting
 			jobs = append(jobs, campaign.JobSpec{
@@ -206,7 +235,7 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 	}
 
 	candidateFrom := func(m jobMeta, r *campaign.JobResult) Candidate {
-		tm := timings[m.setting.ISP]
+		tm := timings[timingKey{m.setting.ISP, m.setting.Precision}]
 		c := Candidate{Setting: m.setting, Crashed: r.Crashed, HMs: tm.HMs, TauMs: tm.TauMs}
 		c.MAE, c.Crashed = penalizedMAE(r.Sector(m.evalSector), r.Crashed)
 		return c
@@ -305,7 +334,9 @@ func Characterize(cfg CharacterizeConfig) (*Result, error) {
 		o.Logger().Info("situation characterized",
 			"situation", sit.String(), "candidates", len(cands), "workers", n,
 			"best_isp", cands[0].Setting.ISP, "best_roi", cands[0].Setting.ROI,
-			"best_speed_kmph", cands[0].Setting.SpeedKmph, "best_mae_m", cands[0].MAE)
+			"best_speed_kmph", cands[0].Setting.SpeedKmph,
+			"best_precision", knobs.PrecisionName(cands[0].Setting.Precision),
+			"best_mae_m", cands[0].MAE)
 	}
 	// End-of-run latency summary from the bucketed wall-time histogram
 	// (simulated runs only; cache hits never touch runH).
@@ -344,12 +375,18 @@ func penalizedMAE(sectorMAE float64, crashed bool) (float64, bool) {
 // road layout (Table III shows no exceptions), so only the ISP knob is
 // swept; FullROISweep widens to the full Table II space.
 func candidateSettings(sit world.Situation, cfg CharacterizeConfig) []knobs.Setting {
+	precisions := cfg.Precisions
+	if len(precisions) == 0 {
+		precisions = []string{knobs.PrecisionFP32}
+	}
 	var out []knobs.Setting
 	if cfg.FullROISweep {
 		for _, ispID := range cfg.ISPCandidates {
 			for roi := 1; roi <= 5; roi++ {
 				for _, v := range knobs.Speeds {
-					out = append(out, knobs.Setting{ISP: ispID, ROI: roi, SpeedKmph: v})
+					for _, p := range precisions {
+						out = append(out, knobs.Setting{ISP: ispID, ROI: roi, SpeedKmph: v, Precision: p})
+					}
 				}
 			}
 		}
@@ -358,7 +395,9 @@ func candidateSettings(sit world.Situation, cfg CharacterizeConfig) []knobs.Sett
 	roi := knobs.RoadROI(sit.Layout, sit.Lane.Form == world.Dotted)
 	speed := knobs.SpeedFor(sit.Layout)
 	for _, ispID := range cfg.ISPCandidates {
-		out = append(out, knobs.Setting{ISP: ispID, ROI: roi, SpeedKmph: speed})
+		for _, p := range precisions {
+			out = append(out, knobs.Setting{ISP: ispID, ROI: roi, SpeedKmph: speed, Precision: p})
+		}
 	}
 	return out
 }
@@ -441,7 +480,7 @@ func VerifySwitchingStability(table knobs.Table, p vehicle.Params) error {
 	var loops []*control.Design
 	for _, setting := range table {
 		for _, nClassifiers := range []int{3, 1} {
-			timing, err := xavier.TimingFor(setting.ISP, nClassifiers)
+			timing, err := xavier.TimingForPrecision(setting.ISP, nClassifiers, setting.Precision)
 			if err != nil {
 				return err
 			}

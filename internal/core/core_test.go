@@ -167,3 +167,75 @@ func TestSensitivityScreening(t *testing.T) {
 		t.Fatal("empty format")
 	}
 }
+
+// TestCandidateSettingsPrecisionAxis: adding the precision knob to the
+// sweep multiplies the candidate space, every added candidate carries the
+// canonical precision string, and the default (no Precisions) stays the
+// float32-only sweep so pre-knob cache keys remain byte-identical.
+func TestCandidateSettingsPrecisionAxis(t *testing.T) {
+	sit := world.Situation{Layout: world.RightTurn, Lane: world.LaneMarking{Color: world.White, Form: world.Dotted}, Scene: world.Day}
+	cfg := CharacterizeConfig{ISPCandidates: []string{"S0", "S3"}}
+	base := candidateSettings(sit, cfg)
+
+	cfg.Precisions = []string{knobs.PrecisionFP32, knobs.PrecisionInt8}
+	both := candidateSettings(sit, cfg)
+	if len(both) != 2*len(base) {
+		t.Fatalf("precision axis gave %d candidates, want %d", len(both), 2*len(base))
+	}
+	nInt8 := 0
+	for _, c := range both {
+		switch c.Precision {
+		case knobs.PrecisionFP32:
+		case knobs.PrecisionInt8:
+			nInt8++
+		default:
+			t.Fatalf("candidate carries non-canonical precision %q", c.Precision)
+		}
+	}
+	if nInt8 != len(base) {
+		t.Fatalf("%d int8 candidates, want %d", nInt8, len(base))
+	}
+
+	cfg.FullROISweep = true
+	cfg.ISPCandidates = []string{"S0"}
+	full := candidateSettings(sit, cfg)
+	if len(full) != 5*2*2 {
+		t.Fatalf("full sweep with precision axis = %d, want 20", len(full))
+	}
+}
+
+// TestCharacterizeRejectsBadPrecision: an unknown precision fails before
+// any simulation runs.
+func TestCharacterizeRejectsBadPrecision(t *testing.T) {
+	_, err := Characterize(CharacterizeConfig{
+		Situations:    []world.Situation{world.PaperSituations[0]},
+		ISPCandidates: []string{"S0"},
+		Precisions:    []string{"int4"},
+		Camera:        camera.Scaled(160, 80),
+	})
+	if err == nil || !strings.Contains(err.Error(), "precision") {
+		t.Fatalf("bad precision not rejected: %v", err)
+	}
+}
+
+// TestFormatTablePrecisionMarker: rows won by a non-default precision
+// carry the "/int8" marker in the ISP column; float32 rows do not.
+func TestFormatTablePrecisionMarker(t *testing.T) {
+	res := &Result{Entries: []Entry{
+		{
+			Situation: world.PaperSituations[0],
+			Best:      Candidate{Setting: knobs.Setting{ISP: "S3", ROI: 1, SpeedKmph: 50}},
+		},
+		{
+			Situation: world.PaperSituations[1],
+			Best:      Candidate{Setting: knobs.Setting{ISP: "S0", ROI: 3, SpeedKmph: 30, Precision: knobs.PrecisionInt8}},
+		},
+	}}
+	out := res.FormatTable()
+	if !strings.Contains(out, "S0/int8") {
+		t.Fatalf("int8 row missing marker:\n%s", out)
+	}
+	if strings.Contains(out, "S3/") {
+		t.Fatalf("fp32 row grew a precision marker:\n%s", out)
+	}
+}

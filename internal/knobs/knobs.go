@@ -16,10 +16,54 @@ type Setting struct {
 	ISP       string  // Table II ISP knob, "S0".."S8"
 	ROI       int     // Table II PR knob, 1..5
 	SpeedKmph float64 // control knob: 30 or 50 km/h
+	// Precision is the classifier arithmetic-precision knob: "" (the
+	// canonical float32 default) or PrecisionInt8. The zero value is
+	// float32 and is omitted from JSON so pre-precision campaign cache
+	// keys stay byte-identical.
+	Precision string `json:"Precision,omitempty"`
 }
 
 func (s Setting) String() string {
+	if s.Precision != PrecisionFP32 {
+		return fmt.Sprintf("{ISP %s, ROI %d, v %g km/h, %s}", s.ISP, s.ROI, s.SpeedKmph, s.Precision)
+	}
 	return fmt.Sprintf("{ISP %s, ROI %d, v %g km/h}", s.ISP, s.ROI, s.SpeedKmph)
+}
+
+// Precision knob values: the arithmetic precision the classifiers run
+// at, the hardware-awareness axis extended to compute (cf. the quantized
+// inference path in internal/cnn). The float32 canonical value is the
+// empty string so that the zero Setting, every pre-existing literal, and
+// every previously content-addressed campaign job mean float32
+// unchanged.
+const (
+	PrecisionFP32 = ""     // float32 inference (canonical default)
+	PrecisionInt8 = "int8" // quantize-after-training int8 inference
+)
+
+// Precisions enumerates the precision knob values in sweep order.
+var Precisions = []string{PrecisionFP32, PrecisionInt8}
+
+// ParsePrecision canonicalizes a user-facing precision name: "" and
+// "fp32" (and "float32") mean the float32 default, "int8" the quantized
+// path. Anything else is an error.
+func ParsePrecision(s string) (string, error) {
+	switch s {
+	case "", "fp32", "float32":
+		return PrecisionFP32, nil
+	case PrecisionInt8:
+		return PrecisionInt8, nil
+	}
+	return "", fmt.Errorf("knobs: unknown precision %q (want fp32 or int8)", s)
+}
+
+// PrecisionName returns the display name of a canonical precision value
+// ("fp32" for the empty float32 default).
+func PrecisionName(p string) string {
+	if p == PrecisionFP32 {
+		return "fp32"
+	}
+	return p
 }
 
 // Speeds are the control speed knob values of Table II.

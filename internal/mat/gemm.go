@@ -73,7 +73,8 @@ func GemmNT(m, n, k int, a, b, c []float32, accumulate bool, workers int) {
 
 // gemmNN is the A·B kernel over C rows [i0, i1). For each row the k loop
 // is blocked (B panel reuse) and unrolled by four; the per-element
-// accumulation order is strictly increasing k.
+// accumulation order is strictly increasing k. The loop bodies live in
+// kernels.go so the bce-guard can prove them bounds-check-free.
 func gemmNN(i0, i1, n, k int, a, b, c []float32, accumulate bool) {
 	for i := i0; i < i1; i++ {
 		ci := c[i*n : i*n+n]
@@ -85,25 +86,12 @@ func gemmNN(i0, i1, n, k int, a, b, c []float32, accumulate bool) {
 			k1 := min(k0+gemmKC, k)
 			kk := k0
 			for ; kk+4 <= k1; kk += 4 {
-				a0, a1, a2, a3 := ai[kk], ai[kk+1], ai[kk+2], ai[kk+3]
-				b0 := b[kk*n : kk*n+n][:len(ci)]
-				b1 := b[(kk+1)*n : (kk+1)*n+n][:len(ci)]
-				b2 := b[(kk+2)*n : (kk+2)*n+n][:len(ci)]
-				b3 := b[(kk+3)*n : (kk+3)*n+n][:len(ci)]
-				for j, v := range ci {
-					v += a0 * b0[j]
-					v += a1 * b1[j]
-					v += a2 * b2[j]
-					v += a3 * b3[j]
-					ci[j] = v
-				}
+				axpy4(ai[kk], ai[kk+1], ai[kk+2], ai[kk+3],
+					b[kk*n:kk*n+n], b[(kk+1)*n:(kk+1)*n+n],
+					b[(kk+2)*n:(kk+2)*n+n], b[(kk+3)*n:(kk+3)*n+n], ci)
 			}
 			for ; kk < k1; kk++ {
-				av := ai[kk]
-				bk := b[kk*n : kk*n+n][:len(ci)]
-				for j := range ci {
-					ci[j] += av * bk[j]
-				}
+				axpy1(ai[kk], b[kk*n:kk*n+n], ci)
 			}
 		}
 	}
@@ -127,28 +115,14 @@ func gemmTN(i0, i1, m, n, k int, a, b, c []float32, accumulate bool) {
 		bl2 := b[(l+2)*n : (l+2)*n+n]
 		bl3 := b[(l+3)*n : (l+3)*n+n]
 		for i := i0; i < i1; i++ {
-			ci := c[i*n : i*n+n]
-			a0, a1, a2, a3 := al0[i], al1[i], al2[i], al3[i]
-			b0, b1, b2, b3 := bl0[:len(ci)], bl1[:len(ci)], bl2[:len(ci)], bl3[:len(ci)]
-			for j, v := range ci {
-				v += a0 * b0[j]
-				v += a1 * b1[j]
-				v += a2 * b2[j]
-				v += a3 * b3[j]
-				ci[j] = v
-			}
+			axpy4(al0[i], al1[i], al2[i], al3[i], bl0, bl1, bl2, bl3, c[i*n:i*n+n])
 		}
 	}
 	for ; l < k; l++ {
 		al := a[l*m : l*m+m]
 		bl := b[l*n : l*n+n]
 		for i := i0; i < i1; i++ {
-			ci := c[i*n : i*n+n]
-			av := al[i]
-			bk := bl[:len(ci)]
-			for j := range ci {
-				ci[j] += av * bk[j]
-			}
+			axpy1(al[i], bl, c[i*n:i*n+n])
 		}
 	}
 }
@@ -161,22 +135,11 @@ func gemmNT(i0, i1, n, k int, a, b, c []float32, accumulate bool) {
 		ai := a[i*k : i*k+k]
 		ci := c[i*n : i*n+n]
 		for j := range ci {
-			bj := b[j*k : j*k+k][:len(ai)]
 			var v float32
 			if accumulate {
 				v = ci[j]
 			}
-			kk := 0
-			for ; kk+4 <= len(ai); kk += 4 {
-				v += ai[kk] * bj[kk]
-				v += ai[kk+1] * bj[kk+1]
-				v += ai[kk+2] * bj[kk+2]
-				v += ai[kk+3] * bj[kk+3]
-			}
-			for ; kk < len(ai); kk++ {
-				v += ai[kk] * bj[kk]
-			}
-			ci[j] = v
+			ci[j] = dot4(v, ai, b[j*k:j*k+k])
 		}
 	}
 }

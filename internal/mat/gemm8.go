@@ -1,0 +1,151 @@
+// Int8 GEMM for the quantized inference path. Operands are per-tensor
+// symmetrically quantized (value ≈ q·scale, q ∈ [-127, 127]; -128 is
+// never produced, so negation and |min| = |max| symmetry hold), products
+// accumulate in int32, and the caller applies the single requantize step
+// (acc·scaleA·scaleB) afterwards.
+//
+// Integer accumulation is exact, so — unlike the float32 kernels, which
+// must pin one accumulator and strictly increasing contraction order —
+// the int8 dot kernel may split the sum across independent accumulators
+// and still be bit-deterministic for every unroll factor and worker
+// count. That freedom (plus 4× smaller operands) is where the quantized
+// path's speed comes from.
+//
+// Like kernels.go, this file must stay free of bounds checks in its
+// loops: the CI bce-guard builds with -gcflags=-d=ssa/check_bce and
+// fails if the compiler reports any here.
+package mat
+
+import "math"
+
+// Quantize8 maps v to round(v·inv) with round-half-away-from-zero,
+// saturating at ±127 (symmetric: -128 is never produced). inv is the
+// reciprocal of the quantization scale; pass inv = 0 for an all-zero
+// tensor (everything quantizes to 0). NaN quantizes to 0.
+//
+// The hot path is branch-free in the sign of t — activations have
+// near-random signs, so a sign branch here would mispredict every other
+// element. The three guard branches (NaN, the two saturation bounds)
+// are almost never taken on real data and predict cleanly.
+func Quantize8(v, inv float32) int8 {
+	t := v * inv
+	if t != t {
+		return 0 // NaN
+	}
+	if t >= 126.5 {
+		return 127
+	}
+	if t <= -126.5 {
+		return -127
+	}
+	// ±0.5 carrying t's sign, so truncation rounds half away from zero.
+	half := math.Float32frombits(math.Float32bits(t)&(1<<31) | 0x3F000000)
+	return int8(int32(t + half))
+}
+
+// Scale8 returns the per-tensor symmetric int8 scale for x: max|x|/127,
+// so that Quantize8(v, 1/scale)·scale ≈ v across the whole tensor. An
+// all-zero (or empty) tensor scales to 0 — quantize it with inv = 0.
+// |v| is taken by masking the sign bit and compared as uint32 (the
+// orderings agree for non-negative floats), keeping the scan branch-free
+// on sign.
+func Scale8(x []float32) float32 {
+	var m uint32
+	for _, v := range x {
+		if b := math.Float32bits(v) &^ (1 << 31); b > m {
+			m = b
+		}
+	}
+	return math.Float32frombits(m) / 127
+}
+
+// Quantize8Slice quantizes src into dst element-wise with Quantize8.
+func Quantize8Slice(src []float32, inv float32, dst []int8) {
+	if len(dst) < len(src) {
+		panic("mat: Quantize8Slice destination shorter than source")
+	}
+	for i, v := range src {
+		dst[i] = Quantize8(v, inv)
+	}
+}
+
+// gemm8MinParallelWork is the m·n·k product below which the int8 kernels
+// stay serial; int8 work is cheaper per element than float32, so the
+// fan-out threshold sits higher than gemmMinParallelWork.
+const gemm8MinParallelWork = 1 << 16
+
+// Gemm8 computes C = A·B where A is m×k int8 and B is k×n int8 (both
+// row-major packed panels), overwriting the int32 C — the quantized
+// analog of Gemm's broadcast-axpy kernel: each A element is widened
+// once and swept along a contiguous B row, so the hot loop does one
+// byte load per multiply. workers bounds the goroutines used (<= 1 or
+// small problems run serial); the result is bit-identical for every
+// worker count.
+func Gemm8(m, n, k int, a, b []int8, c []int32, workers int) {
+	checkGemm("Gemm8", m, k, k, n, m, n, len(a), len(b), len(c))
+	if w := gemm8Workers(m, n, k, workers); w <= 1 {
+		gemm8NN(0, m, n, k, a, b, c)
+	} else {
+		parallelRowRange(m, w, func(i0, i1 int) {
+			gemm8NN(i0, i1, n, k, a, b, c)
+		})
+	}
+}
+
+// gemm8NN is the int8 A·B kernel over C rows [i0, i1), mirroring
+// gemmNN's blocking and unroll; the loop bodies live in kernels8.go.
+func gemm8NN(i0, i1, n, k int, a, b []int8, c []int32) {
+	for i := i0; i < i1; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*k : i*k+k]
+		clear(ci)
+		for k0 := 0; k0 < k; k0 += gemmKC {
+			k1 := min(k0+gemmKC, k)
+			kk := k0
+			for ; kk+4 <= k1; kk += 4 {
+				axpy8x4(int32(ai[kk]), int32(ai[kk+1]), int32(ai[kk+2]), int32(ai[kk+3]),
+					b[kk*n:kk*n+n], b[(kk+1)*n:(kk+1)*n+n],
+					b[(kk+2)*n:(kk+2)*n+n], b[(kk+3)*n:(kk+3)*n+n], ci)
+			}
+			for ; kk < k1; kk++ {
+				axpy8x1(int32(ai[kk]), b[kk*n:kk*n+n], ci)
+			}
+		}
+	}
+}
+
+// Gemm8NT computes C = A·Bᵀ where A is m×k int8 and B is n×k int8 (both
+// contraction operands row-contiguous — packed panels), overwriting the
+// int32 C. This is the GEMV shape the quantized dense layer uses (B is
+// the single quantized input row). workers bounds the goroutines used;
+// the result is bit-identical for every worker count.
+func Gemm8NT(m, n, k int, a, b []int8, c []int32, workers int) {
+	checkGemm("Gemm8NT", m, k, n, k, m, n, len(a), len(b), len(c))
+	if w := gemm8Workers(m, n, k, workers); w <= 1 {
+		gemm8NT(0, m, n, k, a, b, c)
+	} else {
+		parallelRowRange(m, w, func(i0, i1 int) {
+			gemm8NT(i0, i1, n, k, a, b, c)
+		})
+	}
+}
+
+// gemm8NT is the int8 A·Bᵀ kernel over C rows [i0, i1): each element is
+// a packed-row dot product.
+func gemm8NT(i0, i1, n, k int, a, b []int8, c []int32) {
+	for i := i0; i < i1; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = dot8(ai, b[j*k:j*k+k])
+		}
+	}
+}
+
+// gemm8Workers resolves the effective worker count for the int8 kernels.
+func gemm8Workers(m, n, k, workers int) int {
+	if m*n*k < gemm8MinParallelWork {
+		return 1
+	}
+	return resolveWorkers(m, workers)
+}

@@ -1,0 +1,106 @@
+// AVX2 int8 GEMM microkernel: C[i][j0:j1) = Σ_k A[i][k]·B[k][j0:j1)
+// with A pre-widened to int32 and B raw int8 bytes. The inner loop
+// broadcasts one A value (VPBROADCASTD), sign-extends 8 B bytes to
+// int32 lanes (VPMOVSXBD) and multiply-accumulates (VPMULLD + VPADDD)
+// — the vector form of the scalar axpy8x4 loop in kernels8.go, exact
+// int32 arithmetic, so results are bit-identical to the pure-Go path.
+//
+// Main loop covers 32 columns (4 YMM accumulators) per pass to amortize
+// the A broadcast; an 8-column loop mops up. j1-j0 must be a multiple
+// of 8 (Gemm8Wide's stripe driver guarantees it).
+//
+// Register map: SI=b, DX=C row advance bytes, R8=m, R9=n, R10=k,
+// R11=j0, R12=j1, R13=i, R14=C write pointer, R15=j, BX=A row,
+// AX/CX=A/B walk pointers, DI=A row end.
+
+#include "textflag.h"
+
+// func gemm8TileAVX2(a *int32, b *int8, c *int32, m, n, k, j0, j1 int)
+TEXT ·gemm8TileAVX2(SB), NOSPLIT, $0-64
+	MOVQ a+0(FP), BX
+	MOVQ b+8(FP), SI
+	MOVQ m+24(FP), R8
+	MOVQ n+32(FP), R9
+	MOVQ k+40(FP), R10
+	MOVQ j0+48(FP), R11
+	MOVQ j1+56(FP), R12
+	MOVQ c+16(FP), R14
+	LEAQ (R14)(R11*4), R14     // cptr = c + j0 (row 0)
+	MOVQ R9, DX
+	SUBQ R12, DX
+	ADDQ R11, DX
+	SHLQ $2, DX                // row advance = (n - (j1-j0))*4 bytes
+
+	XORQ R13, R13              // i = 0
+rowloop:
+	CMPQ R13, R8
+	JGE  done
+	LEAQ (BX)(R10*4), DI       // aend = arow + k
+	MOVQ R11, R15              // j = j0
+
+j32loop:
+	LEAQ 32(R15), AX
+	CMPQ AX, R12
+	JG   j8loop                // fewer than 32 columns left
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	MOVQ BX, AX                // ap = arow
+	LEAQ (SI)(R15*1), CX       // bp = b + j (row 0)
+kloop32:
+	VPBROADCASTD (AX), Y12
+	VPMOVSXBD (CX), Y13
+	VPMULLD Y12, Y13, Y13
+	VPADDD Y13, Y0, Y0
+	VPMOVSXBD 8(CX), Y14
+	VPMULLD Y12, Y14, Y14
+	VPADDD Y14, Y1, Y1
+	VPMOVSXBD 16(CX), Y13
+	VPMULLD Y12, Y13, Y13
+	VPADDD Y13, Y2, Y2
+	VPMOVSXBD 24(CX), Y14
+	VPMULLD Y12, Y14, Y14
+	VPADDD Y14, Y3, Y3
+	ADDQ $4, AX                // next A value
+	ADDQ R9, CX                // next B row
+	CMPQ AX, DI
+	JL   kloop32
+	VMOVDQU Y0, (R14)
+	VMOVDQU Y1, 32(R14)
+	VMOVDQU Y2, 64(R14)
+	VMOVDQU Y3, 96(R14)
+	ADDQ $128, R14
+	ADDQ $32, R15
+	JMP  j32loop
+
+j8loop:
+	LEAQ 8(R15), AX
+	CMPQ AX, R12
+	JG   rownext               // stripe exhausted
+	VPXOR Y0, Y0, Y0
+	MOVQ BX, AX
+	LEAQ (SI)(R15*1), CX
+kloop8:
+	VPBROADCASTD (AX), Y12
+	VPMOVSXBD (CX), Y13
+	VPMULLD Y12, Y13, Y13
+	VPADDD Y13, Y0, Y0
+	ADDQ $4, AX
+	ADDQ R9, CX
+	CMPQ AX, DI
+	JL   kloop8
+	VMOVDQU Y0, (R14)
+	ADDQ $32, R14
+	ADDQ $8, R15
+	JMP  j8loop
+
+rownext:
+	MOVQ DI, BX                // next A row starts at this row's end
+	ADDQ DX, R14               // cptr over the stripe gap to next row
+	INCQ R13
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package mat
+
+// hasAVX2 is constant false off amd64: Gemm8Wide always takes the
+// pure-Go row-parallel fallback, which computes the identical exact
+// int32 sums.
+const hasAVX2 = false
+
+func gemm8TileAVX2(a *int32, b *int8, c *int32, m, n, k, j0, j1 int) {
+	panic("mat: gemm8TileAVX2 called without AVX2")
+}

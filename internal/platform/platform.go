@@ -19,6 +19,7 @@ import (
 
 	"hsas/internal/control"
 	"hsas/internal/isp"
+	"hsas/internal/knobs"
 	"hsas/internal/perception"
 )
 
@@ -74,6 +75,25 @@ func Xavier() Platform {
 // the Xavier (Table IV: 5.5 ms for each ResNet-18 classifier).
 const ClassifierRuntimeMs = 5.5
 
+// ClassifierRuntimeInt8Ms is the per-classifier runtime under the int8
+// quantized inference path: the ≥2.4× speedup measured on this repo's
+// classifier shapes (BenchmarkInfer, see BENCH.md) applied to the
+// paper's profiled 5.5 ms.
+const ClassifierRuntimeInt8Ms = 2.2
+
+// ClassifierRuntimeMsFor returns the per-classifier runtime for an
+// arithmetic-precision knob value (any spelling ParsePrecision accepts).
+func ClassifierRuntimeMsFor(precision string) (float64, error) {
+	p, err := knobs.ParsePrecision(precision)
+	if err != nil {
+		return 0, fmt.Errorf("platform: %w", err)
+	}
+	if p == knobs.PrecisionInt8 {
+		return ClassifierRuntimeInt8Ms, nil
+	}
+	return ClassifierRuntimeMs, nil
+}
+
 // Task is one schedulable piece of the LKAS pipeline.
 type Task struct {
 	Name      string
@@ -82,11 +102,23 @@ type Task struct {
 }
 
 // PipelineTasks builds the per-frame task chain (Fig. 4b mapping) for an
-// ISP configuration and a number of classifier invocations this frame.
+// ISP configuration and a number of classifier invocations this frame,
+// at the canonical float32 classifier precision.
 func PipelineTasks(ispID string, classifiers int) ([]Task, error) {
+	return PipelineTasksPrecision(ispID, classifiers, knobs.PrecisionFP32)
+}
+
+// PipelineTasksPrecision is PipelineTasks with the classifier
+// arithmetic-precision knob applied: int8 charges the quantized
+// per-classifier runtime to the chain.
+func PipelineTasksPrecision(ispID string, classifiers int, precision string) ([]Task, error) {
 	rt, ok := isp.XavierRuntimeMs[ispID]
 	if !ok {
 		return nil, fmt.Errorf("platform: unknown ISP config %q", ispID)
+	}
+	crt, err := ClassifierRuntimeMsFor(precision)
+	if err != nil {
+		return nil, err
 	}
 	tasks := []Task{
 		{Name: "ISP " + ispID, Resource: GPU, RuntimeMs: rt},
@@ -98,7 +130,7 @@ func PipelineTasks(ispID string, classifiers int) ([]Task, error) {
 		if i < len(names) {
 			name = names[i]
 		}
-		tasks = append(tasks, Task{Name: name, Resource: GPU, RuntimeMs: ClassifierRuntimeMs})
+		tasks = append(tasks, Task{Name: name, Resource: GPU, RuntimeMs: crt})
 	}
 	tasks = append(tasks, Task{Name: "control Tc", Resource: CPU, RuntimeMs: control.XavierRuntimeMs})
 	return tasks, nil
@@ -132,9 +164,17 @@ func (p Platform) Timing(tasks []Task) Timing {
 	return Timing{TauMs: tau, HMs: h, FPS: 1000 / tau}
 }
 
-// TimingFor is the common shortcut: ISP config + classifier count.
+// TimingFor is the common shortcut: ISP config + classifier count at the
+// canonical float32 classifier precision.
 func (p Platform) TimingFor(ispID string, classifiers int) (Timing, error) {
-	tasks, err := PipelineTasks(ispID, classifiers)
+	return p.TimingForPrecision(ispID, classifiers, knobs.PrecisionFP32)
+}
+
+// TimingForPrecision is TimingFor with the classifier precision knob:
+// the int8 path's shorter classifier runtime tightens tau and, when it
+// crosses a 5 ms boundary, the sampling period h.
+func (p Platform) TimingForPrecision(ispID string, classifiers int, precision string) (Timing, error) {
+	tasks, err := PipelineTasksPrecision(ispID, classifiers, precision)
 	if err != nil {
 		return Timing{}, err
 	}

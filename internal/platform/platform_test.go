@@ -193,3 +193,59 @@ func TestPowerModesStretchTiming(t *testing.T) {
 		t.Fatal("budget not applied")
 	}
 }
+
+// TestPrecisionTiming: the int8 classifier runtime (2.2 ms vs 5.5 ms
+// float32) tightens tau and can drop the harmonized period h — the
+// hardware lever the precision knob trades accuracy headroom for.
+func TestPrecisionTiming(t *testing.T) {
+	if ms, err := ClassifierRuntimeMsFor(""); err != nil || ms != ClassifierRuntimeMs {
+		t.Fatalf("fp32 classifier runtime = %v, %v", ms, err)
+	}
+	if ms, err := ClassifierRuntimeMsFor("int8"); err != nil || ms != ClassifierRuntimeInt8Ms {
+		t.Fatalf("int8 classifier runtime = %v, %v", ms, err)
+	}
+	if _, err := ClassifierRuntimeMsFor("int4"); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+
+	p := Xavier()
+	fp32, err := p.TimingForPrecision("S0", 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8, err := p.TimingForPrecision("S0", 3, "int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three classifiers save 3 x 3.3 ms = 9.9 ms of tau.
+	if math.Abs((fp32.TauMs-int8.TauMs)-3*(ClassifierRuntimeMs-ClassifierRuntimeInt8Ms)) > 1e-9 {
+		t.Fatalf("int8 tau %v vs fp32 tau %v: wrong saving", int8.TauMs, fp32.TauMs)
+	}
+	if int8.HMs >= fp32.HMs {
+		t.Fatalf("int8 h %v not below fp32 h %v for the 3-classifier case", int8.HMs, fp32.HMs)
+	}
+	if _, err := p.TimingForPrecision("S0", 3, "bf16"); err == nil {
+		t.Fatal("TimingForPrecision accepted unknown precision")
+	}
+
+	// TimingFor is the fp32 special case.
+	legacy, _ := p.TimingFor("S0", 3)
+	if legacy != fp32 {
+		t.Fatalf("TimingFor %+v != TimingForPrecision fp32 %+v", legacy, fp32)
+	}
+
+	// PipelineTasksPrecision swaps only the classifier runtimes.
+	tasks, err := PipelineTasksPrecision("S0", 2, "int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nInt8 := 0
+	for _, task := range tasks {
+		if task.RuntimeMs == ClassifierRuntimeInt8Ms {
+			nInt8++
+		}
+	}
+	if nInt8 != 2 {
+		t.Fatalf("%d int8 classifier tasks, want 2 (tasks %+v)", nInt8, tasks)
+	}
+}

@@ -255,12 +255,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	rend := camera.NewRenderer(cfg.Track, cfg.Camera)
 	rend.Workers = kw
-	// CNN sensors inherit the same bound for their GEMM kernels; results
-	// are bit-identical for any worker count (the mat determinism
-	// contract), so this is purely a latency knob.
+	// CNN sensors inherit the same bound for their GEMM kernels (on both
+	// precision paths); results are bit-identical for any worker count
+	// (the mat determinism contract), so this is purely a latency knob.
 	for _, s := range []Sensor{cfg.Sens.Road, cfg.Sens.Lane, cfg.Sens.Scene} {
 		if c, ok := s.(CNN); ok && c.C != nil && c.C.Net != nil {
-			c.C.Net.SetKernelWorkers(kw)
+			c.C.SetKernelWorkers(kw)
 		}
 	}
 	det := perception.NewDetector(perception.NewGeometry(cfg.Camera))
@@ -355,7 +355,10 @@ func (r *runner) run() (*Result, error) {
 	activeISP, _ := isp.ByID(setting.ISP)
 	res.SettingsUsed = append(res.SettingsUsed, setting)
 
-	timing, err := cfg.Platform.TimingFor(setting.ISP, classifiersPerFrame)
+	if err := r.applyPrecision(setting.Precision); err != nil {
+		return nil, err
+	}
+	timing, err := cfg.Platform.TimingForPrecision(setting.ISP, classifiersPerFrame, setting.Precision)
 	if err != nil {
 		return nil, err
 	}
@@ -659,9 +662,17 @@ func (r *runner) run() (*Result, error) {
 			if newSetting != setting {
 				targetSpeed = vehicle.Kmph(newSetting.SpeedKmph)
 				nextISP, _ := isp.ByID(newSetting.ISP)
-				newTiming, err := cfg.Platform.TimingFor(newSetting.ISP, classifiersPerFrame)
+				newTiming, err := cfg.Platform.TimingForPrecision(newSetting.ISP, classifiersPerFrame, newSetting.Precision)
 				if err != nil {
 					return nil, err
+				}
+				// The precision knob reconfigures in the same cycle as the
+				// PR and control knobs: the classifiers that just ran used
+				// the old arithmetic; the next invocation is requantized.
+				if newSetting.Precision != setting.Precision {
+					if err := r.applyPrecision(newSetting.Precision); err != nil {
+						return nil, err
+					}
 				}
 				// One-cycle ISP reconfiguration delay: the frame we just
 				// processed used the old pipeline; the next uses nextISP.
@@ -735,6 +746,20 @@ func (r *runner) run() (*Result, error) {
 			"deadline_misses", deg.stats.DeadlineMisses)
 	}
 	return res, nil
+}
+
+// applyPrecision switches every CNN sensor to the given classifier
+// arithmetic-precision knob value; oracle sensors have no arithmetic and
+// are unaffected.
+func (r *runner) applyPrecision(p string) error {
+	for _, s := range []Sensor{r.cfg.Sens.Road, r.cfg.Sens.Lane, r.cfg.Sens.Scene} {
+		if c, ok := s.(CNN); ok && c.C != nil && c.C.Net != nil {
+			if err := c.C.SetPrecision(p); err != nil {
+				return fmt.Errorf("sim: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // truthYL computes the ground-truth lateral deviation of the lane center

@@ -275,3 +275,55 @@ func TestMAEMatchesPerSector(t *testing.T) {
 			res.PerSector.Sector(2), res.PerSector.Sector(1))
 	}
 }
+
+// TestPrecisionKnobTightensTiming: a fixed int8 setting runs the same
+// closed loop as the fp32 one but with the quantized classifier runtime
+// charged to the pipeline — tau and h drop, so the run captures at least
+// as many frames. With oracle sensors (no CNNs in the loop) the precision
+// switch is purely a timing change.
+func TestPrecisionKnobTightensTiming(t *testing.T) {
+	sit := world.Situation{Layout: world.Straight, Lane: world.LaneMarking{Color: world.White, Form: world.Continuous}, Scene: world.Day}
+	runFixed := func(precision string) (*Result, float64, float64) {
+		t.Helper()
+		var h, tau float64
+		res, err := Run(Config{
+			Track:            world.SituationTrack(sit),
+			Camera:           testCam(),
+			FixedSetting:     &knobs.Setting{ISP: "S0", ROI: 3, SpeedKmph: 30, Precision: precision},
+			FixedClassifiers: 3,
+			Seed:             1,
+			Trace:            func(p TracePoint) { h, tau = p.HMs, p.TauMs },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, h, tau
+	}
+
+	fp32, hF, tauF := runFixed("")
+	int8, hQ, tauQ := runFixed(knobs.PrecisionInt8)
+	if fp32.Crashed || int8.Crashed {
+		t.Fatalf("fixed straight run crashed: fp32 %v int8 %v", fp32.Crashed, int8.Crashed)
+	}
+	if tauQ >= tauF {
+		t.Fatalf("int8 tau %v not below fp32 tau %v", tauQ, tauF)
+	}
+	if hQ > hF {
+		t.Fatalf("int8 h %v above fp32 h %v", hQ, hF)
+	}
+	if int8.Frames < fp32.Frames {
+		t.Fatalf("int8 captured %d frames, fp32 %d — tighter period must not lose frames", int8.Frames, fp32.Frames)
+	}
+
+	// Unknown precision fails fast instead of simulating with a bogus tau.
+	_, err := Run(Config{
+		Track:            world.SituationTrack(sit),
+		Camera:           testCam(),
+		FixedSetting:     &knobs.Setting{ISP: "S0", ROI: 3, SpeedKmph: 30, Precision: "int4"},
+		FixedClassifiers: 3,
+		Seed:             1,
+	})
+	if err == nil {
+		t.Fatal("bogus precision accepted by Run")
+	}
+}
